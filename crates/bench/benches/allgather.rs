@@ -1,0 +1,31 @@
+//! Ring all-gather: functional data movement cost vs GPU count and block
+//! size (Algorithm 3's host-side analogue).
+
+use amped_sim::collective::{ring_allgather, ring_allgather_time};
+use amped_sim::LinkSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather");
+    for &m in &[2usize, 4, 8] {
+        let rows = 4096;
+        let rank = 32;
+        let blocks: Vec<Vec<f32>> =
+            (0..m).map(|g| vec![g as f32; rows * rank / m]).collect();
+        group.throughput(Throughput::Bytes((rows * rank * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("functional", m), &m, |b, _| {
+            b.iter(|| ring_allgather(&blocks));
+        });
+    }
+    // The timing model itself (pure arithmetic — verifies it is cheap enough
+    // to call per mode per run).
+    let link = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+    let bytes = vec![1_000_000u64; 4];
+    group.bench_function("timing_model", |b| {
+        b.iter(|| ring_allgather_time(&link, &bytes));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allgather);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Atomic f32 accumulation strategies: the CAS loop of Algorithm 2's
+//! `atomicAdd` analogue under different contention patterns.
+
+use amped_sim::{atomic_add_f32, AtomicMat};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::AtomicU32;
+
+fn bench_atomics(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut group = c.benchmark_group("atomics");
+    group.throughput(Throughput::Elements(N as u64));
+
+    // Uncontended: single thread, single cell.
+    group.bench_function("single_cell_serial", |b| {
+        let cell = AtomicU32::new(0f32.to_bits());
+        b.iter(|| {
+            for i in 0..N {
+                atomic_add_f32(&cell, i as f32 * 1e-9);
+            }
+        });
+    });
+
+    // Scattered updates across a matrix (the common MTTKRP pattern).
+    group.bench_function("scattered_matrix_serial", |b| {
+        let m = AtomicMat::zeros(1024, 32);
+        b.iter(|| {
+            for i in 0..N {
+                m.add((i * 2_654_435_761) % 1024, i % 32, 1.0);
+            }
+        });
+    });
+
+    // Contended: 4 threads hammering one cell (hot output row).
+    group.bench_function("single_cell_4threads", |b| {
+        let cell = AtomicU32::new(0f32.to_bits());
+        b.iter(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        for i in 0..N / 4 {
+                            atomic_add_f32(&cell, i as f32 * 1e-9);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        });
+    });
+
+    // Contended but scattered: 4 threads over a large matrix.
+    group.bench_function("scattered_matrix_4threads", |b| {
+        let m = AtomicMat::zeros(1024, 32);
+        b.iter(|| {
+            crossbeam::thread::scope(|s| {
+                for tid in 0..4usize {
+                    let m = &m;
+                    s.spawn(move |_| {
+                        for i in 0..N / 4 {
+                            let k = i * 4 + tid;
+                            m.add((k * 2_654_435_761) % 1024, k % 32, 1.0);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_atomics);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Baseline format construction and kernel costs: BLCO linearization, CSF
+//! fiber trees, HiCOO blocks (real wall time on the host).
+
+use amped_formats::{CsfTensor, HicooTensor, LinTensor};
+use amped_linalg::Mat;
+use amped_tensor::gen::GenSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_formats(c: &mut Criterion) {
+    let t = GenSpec {
+        shape: vec![8_000, 2_000, 2_000],
+        nnz: 150_000,
+        skew: vec![0.7, 0.5, 0.5],
+        seed: 4,
+    }
+    .generate();
+    let rank = 32;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let factors: Vec<Mat> =
+        t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(t.nnz() as u64));
+
+    group.bench_function("build_blco", |b| b.iter(|| LinTensor::build(&t, 1 << 17)));
+    group.bench_function("build_csf", |b| {
+        b.iter(|| CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0)))
+    });
+    group.bench_function("build_hicoo", |b| b.iter(|| HicooTensor::build(&t, 5)));
+
+    let lt = LinTensor::build(&t, 1 << 17);
+    let csf = CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0));
+    let h = HicooTensor::build(&t, 5);
+    group.bench_function("mttkrp_blco", |b| {
+        b.iter(|| {
+            let mut out = Mat::zeros(t.dim(0) as usize, rank);
+            lt.mttkrp(0, &factors, &mut out);
+            out
+        })
+    });
+    group.bench_function("mttkrp_csf_root", |b| {
+        b.iter(|| {
+            let mut out = Mat::zeros(t.dim(0) as usize, rank);
+            csf.mttkrp_root(&factors, &mut out);
+            out
+        })
+    });
+    group.bench_function("mttkrp_hicoo", |b| {
+        b.iter(|| {
+            let mut out = Mat::zeros(t.dim(0) as usize, rank);
+            h.mttkrp(0, &factors, &mut out);
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Preprocessing cost: histogram + CCP + counting sort per mode (Fig. 10's
+//! real work), as a function of nonzero count.
+
+use amped_partition::{chains_on_chains, ModePlan, PartitionPlan};
+use amped_tensor::gen::GenSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for &nnz in &[50_000usize, 200_000, 800_000] {
+        let t = GenSpec {
+            shape: vec![20_000, 4_000, 4_000],
+            nnz,
+            skew: vec![0.8, 0.5, 0.5],
+            seed: 3,
+        }
+        .generate();
+        group.throughput(Throughput::Elements(t.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("all_modes", nnz), &nnz, |b, _| {
+            b.iter(|| PartitionPlan::build(&t, 4, 1 << 20));
+        });
+        group.bench_with_input(BenchmarkId::new("single_mode", nnz), &nnz, |b, _| {
+            b.iter(|| ModePlan::build(&t, 0, 4, 1 << 20));
+        });
+    }
+    // CCP alone on a large histogram.
+    let weights: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2_654_435_761) % 1000).collect();
+    group.bench_function("ccp_1M_indices", |b| {
+        b.iter(|| chains_on_chains(&weights, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Report emission: Markdown tables to stdout, CSV + JSON to `results/`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple table: header row plus data rows, rendered as Markdown and CSV.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table {
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (all the same arity as `header`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — a malformed experiment report is a bug.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "table arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        s.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        s
+    }
+
+    /// Renders CSV (naive quoting: fields with commas get double quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |f: &str| {
+            if f.contains(',') || f.contains('"') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.to_string()
+            }
+        };
+        let mut s = String::new();
+        s.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Writes a figure's artifacts: `<name>.csv` and `<name>.json` under
+/// `out_dir`, and prints the Markdown table with a title to stdout.
+pub fn emit(out_dir: &Path, name: &str, title: &str, table: &Table, extra_json: impl Serialize) {
+    println!("\n## {title}\n");
+    println!("{}", table.to_markdown());
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let csv_path = out_dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", csv_path.display());
+    }
+    #[derive(Serialize)]
+    struct Payload<'a, T: Serialize> {
+        table: &'a Table,
+        extra: T,
+    }
+    let json_path = out_dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(&Payload { table, extra: extra_json }) {
+        Ok(json) => {
+            if let Err(e) = std::fs::File::create(&json_path)
+                .and_then(|mut f| f.write_all(json.as_bytes()))
+            {
+                eprintln!("warning: cannot write {}: {e}", json_path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(&["x"]);
+        t.push(vec!["a,b".into()]);
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Compressed Sparse Fiber (CSF) trees — the SPLATT/MM-CSF format family.
+//!
+//! A CSF tree stores the tensor as a hierarchy: level 0 holds the distinct
+//! indices of the root mode, each pointing at a range of level-1 fibers, and
+//! so on down to the leaves (one entry per nonzero, carrying the last mode's
+//! index and the value). MTTKRP with the *root* mode as output needs no
+//! atomics at all — each root fiber owns its output row exclusively — which
+//! is the key kernel property of the MM-CSF baseline.
+
+use amped_linalg::Mat;
+use amped_tensor::{Idx, SparseTensor, Val};
+
+/// One internal level of the fiber tree.
+#[derive(Clone, Debug)]
+struct Level {
+    /// Index (in this level's mode) of each fiber.
+    fids: Vec<Idx>,
+    /// Child range: fiber `f` owns entries `fptr[f]..fptr[f+1]` of the next
+    /// level (or of the leaves for the last internal level).
+    fptr: Vec<usize>,
+}
+
+/// A CSF representation of a sparse tensor for a fixed mode order.
+#[derive(Clone, Debug)]
+pub struct CsfTensor {
+    shape: Vec<Idx>,
+    /// `mode_order[0]` is the root (output) mode.
+    mode_order: Vec<usize>,
+    /// Internal levels, `order − 1` of them (the last one points at leaves).
+    levels: Vec<Level>,
+    /// Leaf indices (mode `mode_order[order-1]`), one per nonzero.
+    leaf_fids: Vec<Idx>,
+    /// Values, parallel to `leaf_fids`.
+    values: Vec<Val>,
+    /// Real preprocessing wall time (lexicographic sort + tree build).
+    pub preprocess_wall: f64,
+}
+
+impl CsfTensor {
+    /// Builds a CSF tree with the given mode order (root first).
+    ///
+    /// # Panics
+    /// Panics if `mode_order` is not a permutation of `0..order`.
+    pub fn build(t: &SparseTensor, mode_order: &[usize]) -> Self {
+        let n = t.order();
+        assert_eq!(mode_order.len(), n, "mode order arity mismatch");
+        let mut seen = vec![false; n];
+        for &m in mode_order {
+            assert!(!seen[m], "mode order repeats mode {m}");
+            seen[m] = true;
+        }
+        let start = std::time::Instant::now();
+        let sorted = t.sorted_lex(mode_order);
+        let nnz = sorted.nnz();
+        let mut levels: Vec<Level> = Vec::with_capacity(n - 1);
+        // Build levels top-down: a new fiber starts at element `e` for level
+        // `l` when any coordinate of modes mode_order[0..=l] changes.
+        for l in 0..n - 1 {
+            let mut fids = Vec::new();
+            let mut starts = Vec::new(); // element index where each fiber starts
+            for e in 0..nnz {
+                let new_fiber = e == 0
+                    || (0..=l).any(|k| {
+                        sorted.idx(e, mode_order[k]) != sorted.idx(e - 1, mode_order[k])
+                    });
+                if new_fiber {
+                    fids.push(sorted.idx(e, mode_order[l]));
+                    starts.push(e);
+                }
+            }
+            starts.push(nnz);
+            levels.push(Level { fids, fptr: starts });
+        }
+        // Convert element-based fptr into child-fiber-based fptr for all but
+        // the last internal level (whose children are leaves).
+        for l in 0..n.saturating_sub(2) {
+            let (head, tail) = levels.split_at_mut(l + 1);
+            let child_starts = &tail[0].fptr;
+            for p in &mut head[l].fptr {
+                *p = child_starts[..child_starts.len() - 1].partition_point(|&s| s < *p);
+            }
+        }
+        let leaf_mode = mode_order[n - 1];
+        let leaf_fids = (0..nnz).map(|e| sorted.idx(e, leaf_mode)).collect();
+        let values = (0..nnz).map(|e| sorted.value(e)).collect();
+        Self {
+            shape: t.shape().to_vec(),
+            mode_order: mode_order.to_vec(),
+            levels,
+            leaf_fids,
+            values,
+            preprocess_wall: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// A sensible MM-CSF-style order for output mode `d`: root = `d`, then
+    /// remaining modes by decreasing fiber-compression potential (ascending
+    /// mode size, so long modes sit near the leaves).
+    pub fn order_for_output(t: &SparseTensor, d: usize) -> Vec<usize> {
+        let mut rest: Vec<usize> = (0..t.order()).filter(|&m| m != d).collect();
+        rest.sort_by_key(|&m| t.dim(m));
+        let mut order = vec![d];
+        order.extend(rest);
+        order
+    }
+
+    /// Mode sizes.
+    pub fn shape(&self) -> &[Idx] {
+        &self.shape
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The mode order (root first).
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// Number of root fibers (= distinct root-mode indices present).
+    pub fn root_fibers(&self) -> usize {
+        self.levels[0].fids.len()
+    }
+
+    /// Total payload bytes: per level `fids` (4 B) + `fptr` (8 B), leaves
+    /// `fids` (4 B) + values (4 B).
+    pub fn bytes(&self) -> u64 {
+        let internal: u64 = self
+            .levels
+            .iter()
+            .map(|l| l.fids.len() as u64 * 4 + l.fptr.len() as u64 * 8)
+            .sum();
+        internal + self.nnz() as u64 * 8
+    }
+
+    /// Functional MTTKRP with the root mode as output, over the root-fiber
+    /// range `roots` (callers parallelize by splitting root ranges — no
+    /// atomics needed because each root fiber owns its output row).
+    pub fn mttkrp_root_range(
+        &self,
+        roots: std::ops::Range<usize>,
+        factors: &[Mat],
+        out: &mut Mat,
+    ) {
+        let r = out.cols();
+        let n = self.order();
+        let mut scratch = vec![vec![0.0f32; r]; n]; // per-level accumulators
+        for root in roots {
+            let i0 = self.levels[0].fids[root] as usize;
+            scratch[0].fill(0.0);
+            self.walk(1, self.child_range(0, root), factors, &mut scratch);
+            let row = out.row_mut(i0);
+            for (o, &a) in row.iter_mut().zip(&scratch[0]) {
+                *o += a;
+            }
+        }
+    }
+
+    /// Child range of fiber `f` at internal level `l`.
+    fn child_range(&self, l: usize, f: usize) -> std::ops::Range<usize> {
+        self.levels[l].fptr[f]..self.levels[l].fptr[f + 1]
+    }
+
+    /// Accumulates the subtree contributions of `children` (fibers at level
+    /// `l`, or leaves when `l == order − 1`) into `scratch[l − 1]`.
+    fn walk(
+        &self,
+        l: usize,
+        children: std::ops::Range<usize>,
+        factors: &[Mat],
+        scratch: &mut [Vec<f32>],
+    ) {
+        let n = self.order();
+        let mode = self.mode_order[l];
+        let f = &factors[mode];
+        if l == n - 1 {
+            // Leaves: acc += val · F_leaf(i, :)
+            let acc = &mut scratch[l - 1];
+            for e in children {
+                let row = f.row(self.leaf_fids[e] as usize);
+                let v = self.values[e];
+                for (a, &x) in acc.iter_mut().zip(row) {
+                    *a += v * x;
+                }
+            }
+            return;
+        }
+        for fiber in children {
+            scratch[l].fill(0.0);
+            self.walk(l + 1, self.child_range(l, fiber), factors, scratch);
+            let row = f.row(self.levels[l].fids[fiber] as usize);
+            let (head, tail) = scratch.split_at_mut(l);
+            let parent = &mut head[l - 1];
+            let child = &tail[0];
+            for ((p, &c), &x) in parent.iter_mut().zip(child).zip(row) {
+                *p += c * x;
+            }
+        }
+    }
+
+    /// Functional MTTKRP over all root fibers.
+    pub fn mttkrp_root(&self, factors: &[Mat], out: &mut Mat) {
+        self.mttkrp_root_range(0..self.root_fibers(), factors, out);
+    }
+
+    /// Element (leaf) count under each root fiber — the per-fiber workload
+    /// used to build balanced threadblock units.
+    pub fn root_leaf_counts(&self) -> Vec<usize> {
+        let n = self.order();
+        (0..self.root_fibers())
+            .map(|f| {
+                let mut lo = f;
+                let mut hi = f + 1;
+                // Internal levels 0..n−2 hold child-fiber pointers; the last
+                // internal level holds element pointers.
+                for l in 0..n.saturating_sub(2) {
+                    lo = self.levels[l].fptr[lo];
+                    hi = self.levels[l].fptr[hi];
+                }
+                let last = &self.levels[n - 2];
+                last.fptr[hi] - last.fptr[lo]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_tensor::gen::GenSpec;
+
+    /// Direct COO MTTKRP oracle.
+    fn coo_mttkrp(t: &SparseTensor, mode: usize, factors: &[Mat]) -> Mat {
+        let r = factors[0].cols();
+        let mut out = Mat::zeros(t.dim(mode) as usize, r);
+        for e in t.iter() {
+            for c in 0..r {
+                let mut prod = e.val;
+                for (w, f) in factors.iter().enumerate() {
+                    if w != mode {
+                        prod *= f.get(e.coords[w] as usize, c);
+                    }
+                }
+                let i = e.coords[mode] as usize;
+                out.set(i, c, out.get(i, c) + prod);
+            }
+        }
+        out
+    }
+
+    fn factors(t: &SparseTensor, r: usize, seed: u64) -> Vec<Mat> {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        t.shape().iter().map(|&d| Mat::random(d as usize, r, &mut rng)).collect()
+    }
+
+    #[test]
+    fn csf_matches_coo_oracle_3mode() {
+        let t = GenSpec::uniform(vec![20, 15, 25], 600, 41).generate();
+        let fs = factors(&t, 8, 1);
+        for d in 0..3 {
+            let order = CsfTensor::order_for_output(&t, d);
+            let csf = CsfTensor::build(&t, &order);
+            let mut out = Mat::zeros(t.dim(d) as usize, 8);
+            csf.mttkrp_root(&fs, &mut out);
+            let want = coo_mttkrp(&t, d, &fs);
+            assert!(
+                out.approx_eq(&want, 1e-4, 1e-5),
+                "mode {d} mismatch: max diff {}",
+                out.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn csf_matches_coo_oracle_4mode_and_5mode() {
+        for shape in [vec![10u32, 12, 9, 8], vec![6, 7, 8, 9, 10]] {
+            let t = GenSpec::uniform(shape, 400, 42).generate();
+            let fs = factors(&t, 4, 2);
+            for d in 0..t.order() {
+                let csf = CsfTensor::build(&t, &CsfTensor::order_for_output(&t, d));
+                let mut out = Mat::zeros(t.dim(d) as usize, 4);
+                csf.mttkrp_root(&fs, &mut out);
+                let want = coo_mttkrp(&t, d, &fs);
+                assert!(out.approx_eq(&want, 1e-4, 1e-5), "order {} mode {d}", t.order());
+            }
+        }
+    }
+
+    #[test]
+    fn root_range_split_equals_full() {
+        let t = GenSpec::uniform(vec![30, 10, 10], 500, 43).generate();
+        let fs = factors(&t, 4, 3);
+        let csf = CsfTensor::build(&t, &[0, 1, 2]);
+        let mut full = Mat::zeros(30, 4);
+        csf.mttkrp_root(&fs, &mut full);
+        let mut split = Mat::zeros(30, 4);
+        let half = csf.root_fibers() / 2;
+        csf.mttkrp_root_range(0..half, &fs, &mut split);
+        csf.mttkrp_root_range(half..csf.root_fibers(), &fs, &mut split);
+        assert!(full.approx_eq(&split, 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn fiber_counts_shrink_toward_root() {
+        let t = GenSpec::uniform(vec![8, 30, 300], 2000, 44).generate();
+        let csf = CsfTensor::build(&t, &[0, 1, 2]);
+        assert!(csf.root_fibers() <= 8);
+        assert!(csf.levels[1].fids.len() >= csf.levels[0].fids.len());
+        assert!(csf.nnz() >= csf.levels[1].fids.len());
+    }
+
+    #[test]
+    fn bytes_smaller_than_coo_when_fibers_compress() {
+        // Dense-ish tensor: many elements share (i0, i1) pairs.
+        let t = GenSpec::uniform(vec![4, 8, 4000], 6000, 45).generate();
+        let csf = CsfTensor::build(&t, &[0, 1, 2]);
+        assert!(
+            csf.bytes() < t.bytes(),
+            "CSF {} should compress below COO {}",
+            csf.bytes(),
+            t.bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats mode")]
+    fn rejects_bad_mode_order() {
+        let t = GenSpec::uniform(vec![4, 4, 4], 20, 46).generate();
+        let _ = CsfTensor::build(&t, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn order_for_output_puts_output_first() {
+        let t = GenSpec::uniform(vec![100, 5, 50], 200, 47).generate();
+        let order = CsfTensor::order_for_output(&t, 2);
+        assert_eq!(order[0], 2);
+        assert_eq!(order.len(), 3);
+        // Remaining sorted ascending by dim: 5 (mode 1) before 100 (mode 0).
+        assert_eq!(order[1], 1);
+        assert_eq!(order[2], 0);
+    }
+}

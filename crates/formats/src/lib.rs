@@ -1,0 +1,30 @@
+//! Baseline sparse-tensor formats.
+//!
+//! The paper compares AMPED against four systems whose formats this crate
+//! reimplements from their publications (the originals are CUDA codebases):
+//!
+//! * [`lin`] — *blocked linearized coordinates* (BLCO, Nguyen et al. ICS'22):
+//!   each nonzero's coordinates are packed into one integer; the sorted
+//!   stream is cut into blocks whose elements fit 64 bits after factoring out
+//!   shared high bits. Enables out-of-GPU-memory streaming from host memory.
+//! * [`csf`] — *compressed sparse fiber* trees (SPLATT/MM-CSF lineage): a
+//!   per-mode fiber hierarchy that removes atomic updates at the root level.
+//! * [`hicoo`] — *hierarchical COO* (HiCOO, used by ParTI-GPU): elements
+//!   grouped into small index blocks with 8-bit local coordinates.
+//!
+//! Every format provides a functional (sequential) MTTKRP used for
+//! correctness testing, plus enough structural introspection (block / fiber
+//! iteration, byte accounting) for the baseline systems in `amped-baselines`
+//! to execute them on the simulated platform with the right parallel grain
+//! and memory charges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csf;
+pub mod hicoo;
+pub mod lin;
+
+pub use csf::CsfTensor;
+pub use hicoo::HicooTensor;
+pub use lin::LinTensor;

@@ -1,0 +1,165 @@
+//! Cholesky factorization and SPD solves for the ALS normal equations.
+
+use crate::Mat;
+
+/// A lower-triangular Cholesky factor `L` with `V = L Lᵀ`, stored in `f64`
+/// for numerical stability (the `R × R` Hadamard-of-Grams matrix in ALS can be
+/// poorly conditioned once factors become collinear).
+#[derive(Clone, Debug)]
+pub struct CholFactor {
+    n: usize,
+    l: Vec<f64>, // row-major lower triangle, full n×n storage
+}
+
+/// Factorizes the symmetric positive (semi-)definite matrix `v`.
+///
+/// If the factorization encounters a non-positive pivot, it is retried with a
+/// ridge term `ridge * trace(v)/n * I` added, doubling the ridge up to a few
+/// times. Returns `None` only if the matrix stays non-factorizable, which for
+/// ALS would indicate completely degenerate factors.
+pub fn cholesky(v: &Mat, ridge: f64) -> Option<CholFactor> {
+    assert_eq!(v.rows(), v.cols(), "cholesky requires a square matrix");
+    let n = v.rows();
+    let mean_diag: f64 =
+        (0..n).map(|i| v.get(i, i) as f64).sum::<f64>() / n.max(1) as f64;
+    let mut jitter = ridge * mean_diag.max(f64::MIN_POSITIVE);
+    for _attempt in 0..8 {
+        if let Some(f) = try_cholesky(v, jitter) {
+            return Some(f);
+        }
+        jitter = if jitter == 0.0 { 1e-12 * mean_diag.max(1.0) } else { jitter * 10.0 };
+    }
+    None
+}
+
+fn try_cholesky(v: &Mat, jitter: f64) -> Option<CholFactor> {
+    let n = v.rows();
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = v.get(i, j) as f64;
+            if i == j {
+                sum += jitter;
+            }
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(CholFactor { n, l })
+}
+
+impl CholFactor {
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `V x = b` in place (`b` holds the solution on return).
+    pub fn solve_row(&self, b: &mut [f32]) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut y = vec![0.0f64; n];
+        // Forward substitution: L y = b.
+        for i in 0..n {
+            let mut sum = b[i] as f64;
+            for k in 0..i {
+                sum -= self.l[i * n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k * n + i] * (b[k] as f64);
+            }
+            b[i] = (sum / self.l[i * n + i]) as f32;
+        }
+    }
+
+    /// Solves `V xᵀ = rowᵀ` for every row of `m`, in place.
+    ///
+    /// This is the ALS factor update `Â = M V⁻¹` (valid because `V` is
+    /// symmetric), applied row by row to the MTTKRP output `M`.
+    pub fn solve_mat_rows(&self, m: &mut Mat) {
+        assert_eq!(m.cols(), self.n, "matrix width must match factor dimension");
+        for r in 0..m.rows() {
+            self.solve_row(m.row_mut(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Mat::random(n + 3, n, &mut rng);
+        let mut g = a.gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + 0.5);
+        }
+        g
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let v = spd(6, 42);
+        let x_true: Vec<f32> = (0..6).map(|i| (i as f32) - 2.5).collect();
+        // b = V x
+        let mut b = vec![0.0f32; 6];
+        for i in 0..6 {
+            b[i] = (0..6).map(|j| v.get(i, j) * x_true[j]).sum();
+        }
+        let f = cholesky(&v, 0.0).expect("SPD matrix must factorize");
+        f.solve_row(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_rows_matches_row_solves() {
+        let v = spd(4, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = Mat::random(5, 4, &mut rng);
+        let f = cholesky(&v, 0.0).unwrap();
+
+        let mut all = m.clone();
+        f.solve_mat_rows(&mut all);
+        for r in 0..m.rows() {
+            let mut row = m.row(r).to_vec();
+            f.solve_row(&mut row);
+            assert_eq!(all.row(r), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn singular_matrix_falls_back_to_ridge() {
+        // Rank-1 matrix: plain Cholesky fails, ridge fallback must succeed.
+        let v = Mat::from_vec(3, 3, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let f = cholesky(&v, 1e-9);
+        assert!(f.is_some(), "ridge fallback should make rank-deficient matrix factorizable");
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let id = Mat::from_fn(5, 5, |r, c| if r == c { 1.0 } else { 0.0 });
+        let f = cholesky(&id, 0.0).unwrap();
+        let mut b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        f.solve_row(&mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

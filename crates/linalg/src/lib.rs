@@ -1,0 +1,22 @@
+//! Small dense linear algebra used by CP-ALS and the MTTKRP kernels.
+//!
+//! Factor matrices in CP decomposition are tall-skinny (`I_d × R` with `R ≈ 32`),
+//! and the per-iteration dense work is tiny compared to the sparse MTTKRP:
+//! `R × R` Gram matrices, Hadamard products of Grams, and one SPD solve per
+//! factor row. This crate implements exactly that surface — row-major `f32`
+//! storage (matching the GPU baselines evaluated in the paper) with `f64`
+//! internal accumulation where it matters for stability.
+//!
+//! Nothing in here allocates in inner loops; all kernels are cache-friendly
+//! row-major sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chol;
+mod mat;
+mod ops;
+
+pub use chol::{cholesky, CholFactor};
+pub use mat::Mat;
+pub use ops::{hadamard_grams, khatri_rao, model_norm_sq};

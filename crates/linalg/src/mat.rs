@@ -1,0 +1,328 @@
+//! Row-major dense matrix.
+
+use rand::Rng;
+
+/// A row-major dense `f32` matrix.
+///
+/// Used for CP factor matrices (`rows = I_d`, `cols = R`) and for the small
+/// `R × R` Gram matrices of the ALS normal equations. Row-major layout keeps a
+/// factor row — the unit of work of the elementwise MTTKRP computation — in one
+/// or two cache lines for the paper's default rank `R = 32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zero matrix of the given dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A matrix with entries drawn uniformly from `[0, 1)`.
+    ///
+    /// This is the factor-matrix initialization used throughout the paper's
+    /// evaluation ("randomly initialized factor matrices").
+    pub fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen::<f32>())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total size in bytes of the matrix payload (used by the memory model).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * core::mem::size_of::<f32>()) as u64
+    }
+
+    /// Borrow row `r` as a slice of length `cols`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The whole row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole row-major backing slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Gram matrix `AᵀA` (`cols × cols`), accumulated in `f64`.
+    pub fn gram(&self) -> Mat {
+        let n = self.cols;
+        let mut acc = vec![0.0f64; n * n];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i] as f64;
+                // Symmetric: accumulate the upper triangle only.
+                for j in i..n {
+                    acc[i * n + j] += ri * row[j] as f64;
+                }
+            }
+        }
+        let mut out = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = acc[i * n + j] as f32;
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// Dense product `self × other`.
+    ///
+    /// Only used for `I × R` times `R × R` shapes in ALS, so a simple
+    /// ikj-ordered triple loop is plenty.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Entry-wise (Hadamard) product, in place.
+    pub fn hadamard_inplace(&mut self, other: &Mat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard dimension mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Frobenius norm, accumulated in `f64`.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Largest absolute entry-wise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Mat) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Entry-wise approximate equality with combined relative/absolute tolerance:
+    /// `|a-b| <= abs + rel * max(|a|, |b|)` for every entry.
+    pub fn approx_eq(&self, other: &Mat, rel: f32, abs: f32) -> bool {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(&a, &b)| {
+            (a - b).abs() <= abs + rel * a.abs().max(b.abs())
+        })
+    }
+
+    /// Normalizes every column to unit Euclidean norm, returning the norms
+    /// (the CP weight vector λ). Zero columns are left untouched with λ = 0.
+    pub fn normalize_cols(&mut self) -> Vec<f32> {
+        let mut norms = vec![0.0f64; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                norms[c] += (v as f64) * (v as f64);
+            }
+        }
+        let norms: Vec<f32> = norms.iter().map(|&n| n.sqrt() as f32).collect();
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                if norms[c] > 0.0 {
+                    *v /= norms[c];
+                }
+            }
+        }
+        norms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_accessors() {
+        let mut m = Mat::zeros(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.bytes(), 24);
+        m.set(2, 1, 5.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Mat::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major data length mismatch")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Mat::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn gram_matches_manual() {
+        let a = Mat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gram();
+        // AᵀA = [[35, 44], [44, 56]]
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = Mat::random(4, 3, &mut rng);
+        let id = Mat::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = a.matmul(&id);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_matches_gram() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = Mat::random(5, 4, &mut rng);
+        let g1 = a.transpose().matmul(&a);
+        let g2 = a.gram();
+        assert!(g1.approx_eq(&g2, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let mut a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(2, 2, vec![2.0, 2.0, 2.0, 2.0]);
+        a.hadamard_inplace(&b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_cols_returns_lambda() {
+        let mut a = Mat::from_vec(2, 2, vec![3.0, 0.0, 4.0, 0.0]);
+        let lambda = a.normalize_cols();
+        assert_eq!(lambda, vec![5.0, 0.0]);
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((a.get(1, 0) - 0.8).abs() < 1e-6);
+        // Zero column untouched.
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn frob_norm_simple() {
+        let a = Mat::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((a.frob_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = Mat::random(4, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,63 @@
+//! Load-balance metrics (paper §5.5, Fig. 8).
+
+/// `(max − min) / max` over per-GPU loads; 0 = perfectly balanced.
+///
+/// This matches the paper's "computation time overhead" definition: the gap
+/// between the slowest and fastest GPU, expressed relative to the slowest
+/// (which bounds the parallel region's wall time).
+pub fn overhead_fraction(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+    let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    (max - min) / max
+}
+
+/// Coefficient of variation (σ/μ) of the loads — a finer-grained balance
+/// metric used by the ablation reports.
+pub fn coefficient_of_variation(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let n = loads.len() as f64;
+    let mean = loads.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = loads.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_loads_have_zero_overhead() {
+        assert_eq!(overhead_fraction(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn overhead_matches_definition() {
+        assert!((overhead_fraction(&[4.0, 2.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_are_safe() {
+        assert_eq!(overhead_fraction(&[]), 0.0);
+        assert_eq!(overhead_fraction(&[0.0, 0.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_orders_balance_quality() {
+        let tight = coefficient_of_variation(&[10.0, 10.5, 9.5]);
+        let loose = coefficient_of_variation(&[10.0, 20.0, 1.0]);
+        assert!(tight < loose);
+    }
+}

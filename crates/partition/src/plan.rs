@@ -1,0 +1,66 @@
+//! All-mode partition plans and preprocessing measurement (Fig. 10).
+
+use crate::shard::ModePlan;
+use amped_tensor::SparseTensor;
+
+/// The complete AMPED preprocessing product: one [`ModePlan`] per output mode
+/// (the paper keeps one tensor copy per mode in host memory, §3.1), plus the
+/// measured preprocessing wall time.
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    /// Per-mode plans, index = output mode.
+    pub modes: Vec<ModePlan>,
+    /// Real wall-clock seconds spent building the plan (histograms, CCP,
+    /// counting sorts, shard statistics) — the quantity Fig. 10 reports.
+    pub preprocess_wall: f64,
+}
+
+impl PartitionPlan {
+    /// Builds plans for every output mode of `t` on `num_gpus` GPUs with the
+    /// given shard size budget.
+    pub fn build(t: &SparseTensor, num_gpus: usize, shard_nnz_budget: usize) -> Self {
+        let start = std::time::Instant::now();
+        let modes = (0..t.order())
+            .map(|d| ModePlan::build(t, d, num_gpus, shard_nnz_budget))
+            .collect();
+        Self { modes, preprocess_wall: start.elapsed().as_secs_f64() }
+    }
+
+    /// Host-memory bytes consumed by all tensor copies (charged to the host
+    /// memory pool; the paper stores all copies in CPU external memory).
+    pub fn host_bytes(&self) -> u64 {
+        self.modes.iter().map(|m| m.tensor.bytes()).sum()
+    }
+
+    /// Number of GPUs the plan was built for.
+    pub fn num_gpus(&self) -> usize {
+        self.modes.first().map(|m| m.num_gpus).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_tensor::gen::GenSpec;
+
+    #[test]
+    fn plan_covers_all_modes() {
+        let t = GenSpec::uniform(vec![30, 40, 50], 2000, 11).generate();
+        let p = PartitionPlan::build(&t, 4, 500);
+        assert_eq!(p.modes.len(), 3);
+        for (d, mp) in p.modes.iter().enumerate() {
+            assert_eq!(mp.mode, d);
+            assert_eq!(mp.tensor.nnz(), t.nnz());
+        }
+        assert!(p.preprocess_wall >= 0.0);
+        assert_eq!(p.host_bytes(), 3 * t.bytes());
+        assert_eq!(p.num_gpus(), 4);
+    }
+
+    #[test]
+    fn five_mode_tensor_gets_five_plans() {
+        let t = GenSpec::uniform(vec![10, 10, 10, 10, 10], 500, 12).generate();
+        let p = PartitionPlan::build(&t, 2, 100);
+        assert_eq!(p.modes.len(), 5);
+    }
+}

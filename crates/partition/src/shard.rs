@@ -1,0 +1,355 @@
+//! Tensor shards and inter-shard partitions (paper §3.1–3.2).
+
+use crate::ccp::chains_on_chains;
+use amped_tensor::{Idx, SparseTensor};
+use serde::Serialize;
+use std::ops::Range;
+
+/// Workload statistics of a contiguous element range, consumed by the
+/// simulator cost model and by the load-balance experiments (Fig. 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ShardStats {
+    /// Nonzero count.
+    pub nnz: u64,
+    /// Distinct output-mode indices.
+    pub distinct_out: u64,
+    /// Largest element count sharing one output index (atomic serialization
+    /// depth).
+    pub max_out_run: u64,
+    /// Sum over input modes of distinct indices (factor-row working set).
+    pub distinct_in_total: u64,
+    /// Factor-row reads reaching DRAM when the hottest `cache_rows` rows
+    /// (the `compute` argument) stay cache-resident.
+    pub dram_factor_reads: u64,
+}
+
+impl ShardStats {
+    /// Computes the statistics of `elem_range` in `t` for output mode `d`,
+    /// with `cache_rows` hot factor rows assumed cache-resident (pass the
+    /// GPU's L2 capacity in rows; `usize::MAX` disables the cache model).
+    ///
+    /// Works on any element order (sort-based counting on scratch copies);
+    /// cost `O(k log k)` for a range of `k` elements.
+    pub fn compute(t: &SparseTensor, d: usize, elem_range: Range<usize>, cache_rows: usize) -> Self {
+        let k = elem_range.len();
+        if k == 0 {
+            return Self::default();
+        }
+        let mut out: Vec<Idx> = elem_range.clone().map(|e| t.idx(e, d)).collect();
+        out.sort_unstable();
+        let mut distinct_out = 0u64;
+        let mut max_out_run = 0u64;
+        let mut run = 0u64;
+        let mut prev: Option<Idx> = None;
+        for &i in &out {
+            if prev == Some(i) {
+                run += 1;
+            } else {
+                distinct_out += 1;
+                run = 1;
+                prev = Some(i);
+            }
+            max_out_run = max_out_run.max(run);
+        }
+        let mut distinct_in_total = 0u64;
+        let mut row_counts: Vec<u32> = Vec::new();
+        let mut scratch: Vec<Idx> = Vec::with_capacity(k);
+        for w in 0..t.order() {
+            if w == d {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(elem_range.clone().map(|e| t.idx(e, w)));
+            scratch.sort_unstable();
+            let mut i = 0;
+            while i < scratch.len() {
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j] == scratch[i] {
+                    j += 1;
+                }
+                distinct_in_total += 1;
+                row_counts.push((j - i) as u32);
+                i = j;
+            }
+        }
+        let dram_factor_reads = amped_sim::costmodel::dram_factor_reads(row_counts, cache_rows);
+        Self { nnz: k as u64, distinct_out, max_out_run, distinct_in_total, dram_factor_reads }
+    }
+}
+
+/// One tensor shard: the unit of host→GPU streaming and of grid execution.
+#[derive(Clone, Debug, Serialize)]
+pub struct Shard {
+    /// Owning GPU.
+    pub gpu: usize,
+    /// Output-mode index range covered (aligned to index boundaries, so one
+    /// output index never spans shards of different GPUs).
+    pub index_range: Range<Idx>,
+    /// Element range within the mode-sorted tensor copy.
+    pub elem_range: Range<usize>,
+    /// Shard-level workload statistics.
+    pub stats: ShardStats,
+}
+
+impl Shard {
+    /// Bytes transferred when streaming this shard (COO payload).
+    pub fn bytes(&self, elem_bytes: u64) -> u64 {
+        self.elem_range.len() as u64 * elem_bytes
+    }
+}
+
+/// The per-output-mode partitioning product: a mode-sorted tensor copy, the
+/// per-GPU contiguous device ranges, and the shard list.
+#[derive(Clone, Debug)]
+pub struct ModePlan {
+    /// Output mode this plan targets.
+    pub mode: usize,
+    /// GPU count the plan was built for.
+    pub num_gpus: usize,
+    /// Contiguous output-index range owned by each GPU.
+    pub device_ranges: Vec<Range<Idx>>,
+    /// Shards in stream order (grouped by GPU, ascending index ranges).
+    pub shards: Vec<Shard>,
+    /// The tensor copy, counting-sorted by output-mode index. Stored in host
+    /// memory in the real system; shards reference element ranges within it.
+    pub tensor: SparseTensor,
+}
+
+impl ModePlan {
+    /// Builds the mode-`d` plan: CCP device ranges balanced by nonzero count,
+    /// then shards of at most `shard_nnz_budget` elements aligned to output
+    /// index boundaries (a single hotter-than-budget index becomes its own
+    /// oversized shard — it cannot be split without breaking the
+    /// no-inter-GPU-conflict invariant).
+    pub fn build(t: &SparseTensor, d: usize, num_gpus: usize, shard_nnz_budget: usize) -> Self {
+        assert!(num_gpus > 0, "need at least one GPU");
+        assert!(shard_nnz_budget > 0, "shard budget must be positive");
+        let hist = t.mode_hist(d);
+        let device_ranges = chains_on_chains(&hist, num_gpus);
+        let sorted = t.sorted_by_mode(d);
+        // Element offset of each index: prefix sums of the histogram.
+        let mut prefix = Vec::with_capacity(hist.len() + 1);
+        prefix.push(0usize);
+        for &h in &hist {
+            prefix.push(prefix.last().unwrap() + h as usize);
+        }
+        let mut shards = Vec::new();
+        for (gpu, range) in device_ranges.iter().enumerate() {
+            let mut idx = range.start;
+            while idx < range.end {
+                let shard_start_idx = idx;
+                let elem_start = prefix[idx as usize];
+                let mut elem_end = elem_start;
+                // Grow by whole indices until the budget is met.
+                while idx < range.end {
+                    let next = prefix[idx as usize + 1];
+                    if next - elem_start > shard_nnz_budget && elem_end > elem_start {
+                        break;
+                    }
+                    elem_end = next;
+                    idx += 1;
+                }
+                let elem_range = elem_start..elem_end;
+                let stats = ShardStats::compute(&sorted, d, elem_range.clone(), usize::MAX);
+                shards.push(Shard {
+                    gpu,
+                    index_range: shard_start_idx..idx,
+                    elem_range,
+                    stats,
+                });
+            }
+            // GPUs with empty ranges contribute no shards.
+        }
+        Self { mode: d, num_gpus, device_ranges, shards, tensor: sorted }
+    }
+
+    /// Total nonzeros assigned to each GPU.
+    pub fn gpu_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_gpus];
+        for s in &self.shards {
+            loads[s.gpu] += s.stats.nnz;
+        }
+        loads
+    }
+
+    /// Output rows owned by each GPU (`device_ranges` lengths).
+    pub fn gpu_rows(&self) -> Vec<u64> {
+        self.device_ranges.iter().map(|r| (r.end - r.start) as u64).collect()
+    }
+
+    /// Shards owned by GPU `g`, in stream order.
+    pub fn shards_of(&self, g: usize) -> impl Iterator<Item = &Shard> + '_ {
+        self.shards.iter().filter(move |s| s.gpu == g)
+    }
+}
+
+/// Splits an element range into equal-sized inter-shard partitions (ISPs) of
+/// at most `isp_nnz` elements — the threadblock work units of §3.1.2.
+pub fn isp_ranges(elem_range: Range<usize>, isp_nnz: usize) -> Vec<Range<usize>> {
+    assert!(isp_nnz > 0, "ISP size must be positive");
+    let mut out = Vec::with_capacity(elem_range.len().div_ceil(isp_nnz));
+    let mut start = elem_range.start;
+    while start < elem_range.end {
+        let end = (start + isp_nnz).min(elem_range.end);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_tensor::gen::GenSpec;
+    use proptest::prelude::*;
+
+    fn tensor() -> SparseTensor {
+        GenSpec { shape: vec![64, 40, 50], nnz: 3000, skew: vec![0.8, 0.0, 0.0], seed: 7 }
+            .generate()
+    }
+
+    #[test]
+    fn plan_covers_every_element_exactly_once() {
+        let t = tensor();
+        let p = ModePlan::build(&t, 0, 4, 256);
+        let mut covered = vec![false; p.tensor.nnz()];
+        for s in &p.shards {
+            for e in s.elem_range.clone() {
+                assert!(!covered[e], "element {e} in two shards");
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "some element missing from all shards");
+    }
+
+    #[test]
+    fn same_output_index_same_gpu() {
+        let t = tensor();
+        for d in 0..3 {
+            let p = ModePlan::build(&t, d, 3, 200);
+            let mut owner: Vec<Option<usize>> = vec![None; t.dim(d) as usize];
+            for s in &p.shards {
+                for e in s.elem_range.clone() {
+                    let i = p.tensor.idx(e, d) as usize;
+                    match owner[i] {
+                        None => owner[i] = Some(s.gpu),
+                        Some(g) => assert_eq!(g, s.gpu, "index {i} split across GPUs"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_elements_lie_in_its_index_range() {
+        let t = tensor();
+        let p = ModePlan::build(&t, 0, 4, 100);
+        for s in &p.shards {
+            for e in s.elem_range.clone() {
+                let i = p.tensor.idx(e, 0);
+                assert!(s.index_range.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn loads_are_balanced_for_uniform_data() {
+        let t = GenSpec::uniform(vec![1000, 50, 50], 20_000, 9).generate();
+        let p = ModePlan::build(&t, 0, 4, 100_000);
+        let loads = p.gpu_loads();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(
+            (max - min) / max < 0.05,
+            "uniform loads should balance within 5%: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn shards_respect_budget_unless_single_hot_index() {
+        let t = tensor();
+        let p = ModePlan::build(&t, 0, 2, 128);
+        let hist = p.tensor.mode_hist(0);
+        for s in &p.shards {
+            let single_index = s.index_range.len() == 1;
+            if !single_index {
+                assert!(
+                    s.stats.nnz <= 2 * 128,
+                    "multi-index shard grossly over budget: {}",
+                    s.stats.nnz
+                );
+            } else {
+                // Oversized shards must match their index's full count.
+                let idx = s.index_range.start as usize;
+                assert_eq!(s.stats.nnz, hist[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_direct_computation() {
+        let mut t = SparseTensor::new(vec![4, 4, 4]);
+        t.push(&[1, 0, 0], 1.0);
+        t.push(&[1, 1, 2], 1.0);
+        t.push(&[1, 1, 3], 1.0);
+        t.push(&[2, 3, 3], 1.0);
+        let s = ShardStats::compute(&t, 0, 0..4, usize::MAX);
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.distinct_out, 2); // indices 1 and 2
+        assert_eq!(s.max_out_run, 3); // index 1 three times
+        assert_eq!(s.distinct_in_total, 3 + 3); // mode1: {0,1,3}; mode2: {0,2,3}
+    }
+
+    #[test]
+    fn stats_distinct_in_excludes_output_mode() {
+        let mut t = SparseTensor::new(vec![2, 8]);
+        t.push(&[0, 5], 1.0);
+        t.push(&[1, 5], 1.0);
+        let s = ShardStats::compute(&t, 1, 0..2, usize::MAX);
+        assert_eq!(s.distinct_out, 1);
+        assert_eq!(s.distinct_in_total, 2); // mode 0 has {0, 1}
+    }
+
+    #[test]
+    fn isp_ranges_tile_exactly() {
+        let ranges = isp_ranges(10..45, 8);
+        assert_eq!(ranges.first().unwrap().start, 10);
+        assert_eq!(ranges.last().unwrap().end, 45);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(ranges.iter().all(|r| r.len() <= 8));
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 35);
+    }
+
+    #[test]
+    fn isp_of_empty_range_is_empty() {
+        assert!(isp_ranges(5..5, 8).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_invariants(
+            nnz in 1usize..2000,
+            dim0 in 1u32..200,
+            m in 1usize..6,
+            budget in 1usize..500,
+            seed in 0u64..1000,
+        ) {
+            let t = GenSpec::uniform(vec![dim0, 16, 16], nnz, seed).generate();
+            let p = ModePlan::build(&t, 0, m, budget);
+            // Every element covered exactly once.
+            let total: u64 = p.shards.iter().map(|s| s.stats.nnz).sum();
+            prop_assert_eq!(total as usize, t.nnz());
+            // Device ranges cover the index space contiguously.
+            prop_assert_eq!(p.device_ranges.first().unwrap().start, 0);
+            prop_assert_eq!(p.device_ranges.last().unwrap().end, dim0);
+            // Shard index ranges never cross device boundaries.
+            for s in &p.shards {
+                let dr = &p.device_ranges[s.gpu];
+                prop_assert!(s.index_range.start >= dr.start);
+                prop_assert!(s.index_range.end <= dr.end);
+            }
+        }
+    }
+}

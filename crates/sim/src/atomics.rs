@@ -1,0 +1,131 @@
+//! Lock-free `f32` accumulation — the CPU stand-in for CUDA `atomicAdd`.
+//!
+//! Algorithm 2 (lines 18–19) resolves intra-GPU output conflicts with atomic
+//! operations. Rust has no `AtomicF32`, so [`atomic_add_f32`] implements the
+//! standard compare-exchange loop over the value's bit pattern. `Relaxed`
+//! ordering is sufficient: each add only needs atomicity, and the thread join
+//! at the end of a grid establishes the happens-before edge for readers
+//! (see *Rust Atomics and Locks*, ch. 2–3).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Atomically adds `delta` to the `f32` stored in `cell`'s bits.
+#[inline]
+pub fn atomic_add_f32(cell: &AtomicU32, delta: f32) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f32::from_bits(cur) + delta;
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A dense row-major `f32` matrix with atomic element updates.
+///
+/// This is the shared output-factor buffer that all threadblocks of one GPU
+/// update concurrently during MTTKRP. One `AtomicMat` exists per GPU and
+/// covers only the output rows that GPU owns — the partitioning scheme
+/// guarantees no *inter*-GPU writes, which is exactly the paper's argument
+/// for why no cross-GPU coherence is needed (§3.1.1).
+#[derive(Debug)]
+pub struct AtomicMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicMat {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        data.resize_with(rows * cols, || AtomicU32::new(0f32.to_bits()));
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Atomically adds `delta` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&self, r: usize, c: usize, delta: f32) {
+        atomic_add_f32(&self.data[r * self.cols + c], delta);
+    }
+
+    /// Non-atomic read of entry `(r, c)` (valid once writers are joined).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        f32::from_bits(self.data[r * self.cols + c].load(Ordering::Relaxed))
+    }
+
+    /// Snapshot into a plain row-major vector.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Resets every entry to zero.
+    pub fn zero(&self) {
+        for a in &self.data {
+            a.store(0f32.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::thread;
+
+    #[test]
+    fn single_threaded_add() {
+        let m = AtomicMat::zeros(2, 3);
+        m.add(1, 2, 1.5);
+        m.add(1, 2, 2.5);
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let m = AtomicMat::zeros(1, 1);
+        let threads = 4;
+        let per_thread = 10_000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for _ in 0..per_thread {
+                        m.add(0, 0, 1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Adding exact integers below 2²⁴ in f32 is exact regardless of order.
+        assert_eq!(m.get(0, 0), (threads * per_thread) as f32);
+    }
+
+    #[test]
+    fn zero_resets() {
+        let m = AtomicMat::zeros(2, 2);
+        m.add(0, 0, 3.0);
+        m.zero();
+        assert_eq!(m.to_vec(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn to_vec_is_row_major() {
+        let m = AtomicMat::zeros(2, 2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 2.0);
+        assert_eq!(m.to_vec(), vec![0.0, 1.0, 2.0, 0.0]);
+    }
+}

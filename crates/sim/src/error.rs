@@ -1,0 +1,65 @@
+//! Simulator error types.
+
+/// Errors surfaced by the simulated platform.
+///
+/// `OutOfMemory` is the mechanism behind every "runtime error" bar in the
+/// paper's Figure 5: a system asked a device for more memory than its
+/// (scaled) capacity. It carries enough context to print the same diagnosis
+/// the paper gives in §5.2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// An allocation exceeded a device's capacity.
+    OutOfMemory {
+        /// Which memory pool rejected the request (e.g. `"gpu0"`, `"host"`).
+        device: String,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Total capacity of the pool.
+        capacity: u64,
+        /// Bytes already allocated when the request was made.
+        in_use: u64,
+    },
+    /// The system cannot run this workload at all (e.g. MM-CSF and
+    /// ParTI-GPU do not support 5-mode tensors — §5.2 on Twitch).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory { device, requested, capacity, in_use } => write!(
+                f,
+                "out of memory on {device}: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+            SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// True if this is the out-of-memory variant.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, SimError::OutOfMemory { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory {
+            device: "gpu0".into(),
+            requested: 100,
+            capacity: 64,
+            in_use: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("gpu0") && s.contains("100") && s.contains("64"));
+        assert!(e.is_oom());
+        assert!(!SimError::Unsupported("x".into()).is_oom());
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic multi-GPU platform simulator.
+//!
+//! The AMPED paper evaluates on a single node with four NVIDIA RTX 6000 Ada
+//! GPUs connected over PCIe with GPUDirect peer-to-peer. This crate stands in
+//! for that hardware (DESIGN.md §1 "substitutions"): kernels **execute for
+//! real** on host threads — real data, real `f32` atomics — while *simulated
+//! time* is produced by an analytic cost model that is deterministic given the
+//! workload statistics.
+//!
+//! The pieces:
+//!
+//! * [`spec`] — hardware descriptions ([`GpuSpec`], [`LinkSpec`],
+//!   [`PlatformSpec`]) with an RTX-6000-Ada-node preset and capacity scaling
+//!   (memory capacities shrink with the dataset scale so out-of-memory
+//!   behaviour matches the paper's full-scale runs).
+//! * [`memory`] — allocation tracking with real out-of-memory errors.
+//! * [`costmodel`] — the elementwise-computation kernel cost model
+//!   (bandwidth-bound, with L2 reuse and atomic-contention terms) and link
+//!   transfer times. Every calibration constant lives here.
+//! * [`smexec`] — the grid executor: runs threadblocks for real on a worker
+//!   pool and produces a deterministic makespan by list-scheduling the
+//!   per-block costs onto the GPU's streaming multiprocessors.
+//! * [`atomics`] — lock-free `f32` accumulation ([`AtomicMat`]), the Rust
+//!   equivalent of the CUDA `atomicAdd` in Algorithm 2 lines 18–19.
+//! * [`collective`] — the ring all-gather of Algorithm 3, both functional and
+//!   timed.
+//! * [`metrics`] — per-GPU time breakdowns (Fig. 7) and run reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomics;
+pub mod collective;
+pub mod costmodel;
+pub mod memory;
+pub mod metrics;
+pub mod smexec;
+pub mod spec;
+
+mod error;
+
+pub use atomics::{atomic_add_f32, AtomicMat};
+pub use error::SimError;
+pub use memory::MemPool;
+pub use metrics::TimeBreakdown;
+pub use spec::{GpuSpec, HostSpec, LinkSpec, PlatformSpec};

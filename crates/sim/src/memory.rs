@@ -1,0 +1,143 @@
+//! Device memory accounting.
+
+use crate::SimError;
+
+/// A tracked memory pool (one per GPU, one for the host).
+///
+/// Systems under simulation charge every resident data structure here; an
+/// allocation beyond capacity produces [`SimError::OutOfMemory`], which is how
+/// the paper's Figure 5 "runtime error" outcomes are reproduced — from
+/// capacity arithmetic, not from a hard-coded table.
+#[derive(Clone, Debug)]
+pub struct MemPool {
+    label: String,
+    capacity: u64,
+    used: u64,
+    peak: u64,
+}
+
+impl MemPool {
+    /// A pool with the given capacity in bytes.
+    pub fn new(label: impl Into<String>, capacity: u64) -> Self {
+        Self { label: label.into(), capacity, used: 0, peak: 0 }
+    }
+
+    /// Pool label (used in error messages).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Allocates `bytes`, failing with [`SimError::OutOfMemory`] if the pool
+    /// cannot hold them.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), SimError> {
+        if bytes > self.available() {
+            return Err(SimError::OutOfMemory {
+                device: self.label.clone(),
+                requested: bytes,
+                capacity: self.capacity,
+                in_use: self.used,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more bytes are freed than are allocated — that is a bug in
+    /// the system under simulation, not a recoverable condition.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.used,
+            "{}: freeing {bytes} B with only {} B allocated",
+            self.label,
+            self.used
+        );
+        self.used -= bytes;
+    }
+
+    /// Releases everything (end of a run).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = MemPool::new("gpu0", 100);
+        p.alloc(60).unwrap();
+        p.alloc(40).unwrap();
+        assert_eq!(p.used(), 100);
+        assert_eq!(p.available(), 0);
+        p.free(50);
+        assert_eq!(p.used(), 50);
+        assert_eq!(p.peak(), 100);
+    }
+
+    #[test]
+    fn oom_reports_context() {
+        let mut p = MemPool::new("gpu1", 100);
+        p.alloc(80).unwrap();
+        match p.alloc(30) {
+            Err(SimError::OutOfMemory { device, requested, capacity, in_use }) => {
+                assert_eq!(device, "gpu1");
+                assert_eq!(requested, 30);
+                assert_eq!(capacity, 100);
+                assert_eq!(in_use, 80);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // A failed allocation must not change accounting.
+        assert_eq!(p.used(), 80);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut p = MemPool::new("x", 10);
+        assert!(p.alloc(10).is_ok());
+        assert!(p.alloc(1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut p = MemPool::new("x", 10);
+        p.alloc(5).unwrap();
+        p.free(6);
+    }
+
+    #[test]
+    fn reset_clears_usage_but_keeps_peak() {
+        let mut p = MemPool::new("x", 10);
+        p.alloc(7).unwrap();
+        p.reset();
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.peak(), 7);
+    }
+}

@@ -1,0 +1,193 @@
+//! Time accounting: per-GPU breakdowns and run reports (Fig. 7 / Fig. 8).
+
+use serde::Serialize;
+
+/// Where a GPU's (simulated) time went during a run.
+///
+/// The paper's Figure 7 splits total execution time into computation,
+/// host-CPU↔GPU communication, and GPU↔GPU communication; Figure 8 needs
+/// per-GPU compute time in isolation. `idle` captures barrier waits (the
+/// "GPU idle time" the partitioning scheme minimizes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct TimeBreakdown {
+    /// Elementwise-computation time (grid makespans).
+    pub compute: f64,
+    /// Host→device shard streaming time *exposed* on the critical path
+    /// (transfer time not hidden behind compute by double buffering).
+    pub h2d: f64,
+    /// Device→host transfers (baselines that merge on the host).
+    pub d2h: f64,
+    /// GPU↔GPU all-gather time.
+    pub p2p: f64,
+    /// Host CPU compute (e.g. partial-result merging in the equal-nnz
+    /// baseline).
+    pub host: f64,
+    /// Barrier / load-imbalance wait time.
+    pub idle: f64,
+}
+
+impl TimeBreakdown {
+    /// Total wall time attributed to this GPU.
+    pub fn total(&self) -> f64 {
+        self.compute + self.h2d + self.d2h + self.p2p + self.host + self.idle
+    }
+
+    /// Communication time (host↔GPU plus GPU↔GPU), the quantity Fig. 7
+    /// reports against computation.
+    pub fn communication(&self) -> f64 {
+        self.h2d + self.d2h + self.p2p
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &TimeBreakdown) {
+        self.compute += other.compute;
+        self.h2d += other.h2d;
+        self.d2h += other.d2h;
+        self.p2p += other.p2p;
+        self.host += other.host;
+        self.idle += other.idle;
+    }
+}
+
+/// Report of one full run (MTTKRP along all modes, one iteration — the
+/// paper's §5.1.6 metric).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunReport {
+    /// Simulated wall-clock seconds for the whole run.
+    pub total_time: f64,
+    /// Per-GPU time breakdowns (index = GPU id).
+    pub per_gpu: Vec<TimeBreakdown>,
+    /// Per-mode wall times, in mode order.
+    pub per_mode: Vec<f64>,
+    /// Real (host) preprocessing wall time in seconds, where applicable.
+    pub preprocess_wall: f64,
+}
+
+impl RunReport {
+    /// Sum of a component across GPUs, via an accessor.
+    pub fn sum_gpu(&self, f: impl Fn(&TimeBreakdown) -> f64) -> f64 {
+        self.per_gpu.iter().map(f).sum()
+    }
+
+    /// Aggregate breakdown over all GPUs.
+    pub fn aggregate(&self) -> TimeBreakdown {
+        let mut acc = TimeBreakdown::default();
+        for g in &self.per_gpu {
+            acc.add(g);
+        }
+        acc
+    }
+
+    /// Fraction of aggregate GPU time spent in each of Fig. 7's three
+    /// categories `(compute, host↔GPU, GPU↔GPU)`, normalized to sum to 1
+    /// over those categories (idle excluded, as in the paper's plot).
+    pub fn fig7_fractions(&self) -> (f64, f64, f64) {
+        let a = self.aggregate();
+        let denom = a.compute + a.h2d + a.d2h + a.p2p + a.host;
+        if denom <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        ((a.compute + a.host) / denom, (a.h2d + a.d2h) / denom, a.p2p / denom)
+    }
+
+    /// Fig. 8's metric: `(max − min)` per-GPU compute time as a fraction of
+    /// the total parallel compute time.
+    pub fn compute_overhead_fraction(&self) -> f64 {
+        let times: Vec<f64> = self.per_gpu.iter().map(|g| g.compute).collect();
+        if times.is_empty() {
+            return 0.0;
+        }
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        if max <= 0.0 {
+            return 0.0;
+        }
+        (max - min) / max
+    }
+}
+
+/// Geometric mean of a sequence of positive ratios (the paper's summary
+/// statistic for speedups).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        assert!(x > 0.0, "geomean needs positive inputs, got {x}");
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = TimeBreakdown { compute: 1.0, h2d: 2.0, d2h: 0.5, p2p: 0.25, host: 0.1, idle: 0.15 };
+        assert!((b.total() - 4.0).abs() < 1e-12);
+        assert!((b.communication() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = TimeBreakdown { compute: 1.0, ..Default::default() };
+        a.add(&TimeBreakdown { compute: 2.0, p2p: 1.0, ..Default::default() });
+        assert_eq!(a.compute, 3.0);
+        assert_eq!(a.p2p, 1.0);
+    }
+
+    #[test]
+    fn fig7_fractions_normalize() {
+        let r = RunReport {
+            total_time: 1.0,
+            per_gpu: vec![
+                TimeBreakdown { compute: 6.0, h2d: 3.0, p2p: 1.0, ..Default::default() },
+            ],
+            per_mode: vec![],
+            preprocess_wall: 0.0,
+        };
+        let (c, h, p) = r.fig7_fractions();
+        assert!((c - 0.6).abs() < 1e-12);
+        assert!((h - 0.3).abs() < 1e-12);
+        assert!((p - 0.1).abs() < 1e-12);
+        assert!((c + h + p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fraction_zero_when_balanced() {
+        let mk = |c: f64| TimeBreakdown { compute: c, ..Default::default() };
+        let r = RunReport {
+            total_time: 1.0,
+            per_gpu: vec![mk(2.0), mk(2.0), mk(2.0)],
+            per_mode: vec![],
+            preprocess_wall: 0.0,
+        };
+        assert_eq!(r.compute_overhead_fraction(), 0.0);
+
+        let r2 = RunReport {
+            total_time: 1.0,
+            per_gpu: vec![mk(2.0), mk(1.0)],
+            per_mode: vec![],
+            preprocess_wall: 0.0,
+        };
+        assert!((r2.compute_overhead_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean([1.0, 0.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Scaled stand-ins for the paper's four billion-scale tensors (Table 3).
+//!
+//! The paper evaluates on FROSTT's Amazon (1.7B nnz), Patents (3.6B),
+//! Reddit-2015 (4.7B) and the Twitch recommendation tensor (0.5B, 5 modes).
+//! Those do not fit in a CI machine, so each dataset is reproduced as a
+//! synthetic tensor with the same *shape signature* at a configurable scale:
+//!
+//! * nnz scaled by `scale` (default 1/1000, with small per-dataset
+//!   adjustments listed below),
+//! * mode sizes scaled to preserve the memory-pressure ratios that drive the
+//!   paper's out-of-memory outcomes (tensor bytes vs. GPU capacity — the
+//!   simulator scales GPU/host capacities by the same `scale`),
+//! * per-mode Zipf skew chosen per dataset (e.g. Twitch's "popular streamers
+//!   and games", §5.5).
+//!
+//! Per-dataset nnz adjustment (documented in DESIGN.md §"substitutions"):
+//! Patents uses 0.78×, Reddit 1.17× of the uniform 1/1000 scaling. With plain
+//! uniform scaling, Patents-like and Reddit-like have nearly identical nnz,
+//! but every baseline's memory footprint is dominated by nnz terms — the
+//! paper's contrast between them (ParTI runs Patents but not Reddit; both are
+//! distinguished at full scale by block structure that does not survive
+//! uniform down-scaling) would be lost. The adjustment restores the paper's
+//! capacity relationships while keeping every value within "~1/1000".
+
+use crate::gen::GenSpec;
+use crate::{Idx, SparseTensor};
+
+/// The four evaluation datasets of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Amazon reviews (user × item × word), 4.8M × 1.8M × 1.8M, 1.7B nnz.
+    Amazon,
+    /// Patents (year × term × term), 46 × 239.2K × 239.2K, 3.6B nnz.
+    Patents,
+    /// Reddit-2015 (user × subreddit × word), 8.2M × 177K × 8.1M, 4.7B nnz.
+    Reddit,
+    /// Twitch (5 modes), 15.5M × 6.2M × 783.9K × 6.1K × 6.1K, 0.5B nnz.
+    Twitch,
+}
+
+/// All datasets in the order the paper's figures list them.
+pub const ALL: [Dataset; 4] = [Dataset::Amazon, Dataset::Patents, Dataset::Reddit, Dataset::Twitch];
+
+impl Dataset {
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Amazon => "Amazon",
+            Dataset::Patents => "Patents",
+            Dataset::Reddit => "Reddit-2015",
+            Dataset::Twitch => "Twitch",
+        }
+    }
+
+    /// The full-scale shape from Table 3.
+    pub fn paper_shape(&self) -> Vec<u64> {
+        match self {
+            Dataset::Amazon => vec![4_800_000, 1_800_000, 1_800_000],
+            Dataset::Patents => vec![46, 239_200, 239_200],
+            Dataset::Reddit => vec![8_200_000, 177_000, 8_100_000],
+            Dataset::Twitch => vec![15_500_000, 6_200_000, 783_900, 6_100, 6_100],
+        }
+    }
+
+    /// The full-scale nonzero count from Table 3.
+    pub fn paper_nnz(&self) -> u64 {
+        match self {
+            Dataset::Amazon => 1_700_000_000,
+            Dataset::Patents => 3_600_000_000,
+            Dataset::Reddit => 4_700_000_000,
+            Dataset::Twitch => 500_000_000,
+        }
+    }
+
+    /// Per-mode Zipf exponents modelling each dataset's index skew.
+    pub fn skew(&self) -> Vec<f64> {
+        match self {
+            // Users mildly skewed, items more, vocabulary heavy-tailed.
+            Dataset::Amazon => vec![0.7, 0.9, 1.0],
+            // Years nearly uniform; term modes Zipfian.
+            Dataset::Patents => vec![0.2, 0.8, 0.8],
+            // Power users and huge subreddits dominate.
+            Dataset::Reddit => vec![0.9, 1.1, 0.9],
+            // §5.5: "popular streamers and games" → strongest skew; this is
+            // the dataset the paper singles out for GPU load imbalance, and
+            // the concentration (exponents > 1) is what lets a resident
+            // single-GPU system serve most factor reads from L2 (the
+            // mechanism behind FLYCOO's Fig. 5 win on Twitch).
+            Dataset::Twitch => vec![1.4, 1.5, 1.3, 1.0, 1.0],
+        }
+    }
+
+    /// nnz adjustment factor relative to uniform scaling (see module docs).
+    fn nnz_adjust(&self) -> f64 {
+        match self {
+            Dataset::Amazon => 1.0,
+            Dataset::Patents => 0.78,
+            Dataset::Reddit => 1.17,
+            Dataset::Twitch => 1.0,
+        }
+    }
+
+    /// The scaled generator spec at the given scale (`1e-3` = the default used
+    /// by every experiment in this repository).
+    pub fn spec(&self, scale: f64) -> GenSpec {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let nnz = (self.paper_nnz() as f64 * scale * self.nnz_adjust()).round() as usize;
+        let shape: Vec<Idx> = match self {
+            // Amazon/Reddit/Twitch: mode sizes scale linearly (preserves the
+            // all-gather-bytes : compute ratio that drives Fig. 7); small
+            // modes are floored so Zipf skew remains expressible.
+            Dataset::Amazon | Dataset::Reddit | Dataset::Twitch => self
+                .paper_shape()
+                .iter()
+                .map(|&d| ((d as f64 * scale).round() as Idx).max(64))
+                .collect(),
+            // Patents: mode 0 is a 46-element "year" mode that must not be
+            // scaled; the term modes scale as sqrt so the paper's density
+            // (1.37e-3) is preserved.
+            Dataset::Patents => {
+                let a = ((239_200.0f64 * 239_200.0 * scale * self.nnz_adjust()).sqrt()).round()
+                    as Idx;
+                vec![46, a, a]
+            }
+        };
+        GenSpec { shape, nnz, skew: self.skew(), seed: self.seed() }
+    }
+
+    /// Deterministic per-dataset seed so every figure sees identical data.
+    pub fn seed(&self) -> u64 {
+        match self {
+            Dataset::Amazon => 0xA3A2_0001,
+            Dataset::Patents => 0xA3A2_0002,
+            Dataset::Reddit => 0xA3A2_0003,
+            Dataset::Twitch => 0xA3A2_0004,
+        }
+    }
+
+    /// Generates the scaled tensor.
+    pub fn generate(&self, scale: f64) -> SparseTensor {
+        self.spec(scale).generate()
+    }
+}
+
+/// One row of the scaled Table 3 (dataset characteristics).
+#[derive(Clone, Debug)]
+pub struct Characteristics {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Scaled shape.
+    pub shape: Vec<Idx>,
+    /// Actual generated nnz (after deduplication).
+    pub nnz: usize,
+    /// COO payload bytes.
+    pub bytes: u64,
+    /// Number of modes.
+    pub order: usize,
+}
+
+/// Computes the Table-3 row for a generated tensor.
+pub fn characteristics(d: Dataset, t: &SparseTensor) -> Characteristics {
+    Characteristics {
+        name: d.name(),
+        shape: t.shape().to_vec(),
+        nnz: t.nnz(),
+        bytes: t.bytes(),
+        order: t.order(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SCALE: f64 = 1e-5; // tiny for fast unit tests
+
+    #[test]
+    fn all_datasets_generate_and_validate() {
+        for d in ALL {
+            let t = d.generate(TEST_SCALE);
+            t.validate().unwrap();
+            assert!(t.nnz() > 0, "{} produced an empty tensor", d.name());
+            assert_eq!(t.order(), d.paper_shape().len());
+        }
+    }
+
+    #[test]
+    fn twitch_has_five_modes() {
+        assert_eq!(Dataset::Twitch.spec(TEST_SCALE).shape.len(), 5);
+    }
+
+    #[test]
+    fn patents_keeps_year_mode() {
+        let s = Dataset::Patents.spec(TEST_SCALE);
+        assert_eq!(s.shape[0], 46);
+    }
+
+    #[test]
+    fn nnz_ordering_matches_paper() {
+        // Reddit > Patents > Amazon > Twitch at any uniform scale.
+        let nnz: Vec<usize> = ALL.iter().map(|d| d.spec(1e-4).nnz).collect();
+        assert!(nnz[2] > nnz[1], "Reddit > Patents");
+        assert!(nnz[1] > nnz[0], "Patents > Amazon");
+        assert!(nnz[0] > nnz[3], "Amazon > Twitch");
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        for d in ALL {
+            assert_eq!(d.generate(TEST_SCALE), d.generate(TEST_SCALE));
+        }
+    }
+
+    #[test]
+    fn twitch_is_most_skewed_dataset() {
+        // The paper attributes the largest inter-GPU imbalance to Twitch.
+        let max_skew = |d: Dataset| {
+            d.skew().into_iter().fold(0.0f64, f64::max)
+        };
+        for d in [Dataset::Amazon, Dataset::Patents, Dataset::Reddit] {
+            assert!(max_skew(Dataset::Twitch) > max_skew(d));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Synthetic sparse tensor generators.
+//!
+//! Two families:
+//!
+//! * [`GenSpec`] — "shape signature" generators: draw each mode's coordinate
+//!   independently from a (possibly skewed) Zipf distribution. These reproduce
+//!   the statistical structure the AMPED partitioner and cost model care about:
+//!   nnz count, mode sizes, and per-mode index skew. Used by
+//!   [`crate::datasets`] to stand in for the paper's FROSTT tensors.
+//! * [`low_rank`] — exact low-CP-rank tensors (plus optional noise) whose
+//!   ground-truth factors are known. Used to validate CP-ALS convergence.
+
+use crate::{Idx, SparseTensor, Val, Zipf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic tensor with independent per-mode Zipf skew.
+#[derive(Clone, Debug)]
+pub struct GenSpec {
+    /// Mode sizes.
+    pub shape: Vec<Idx>,
+    /// Number of nonzeros to draw (duplicates are merged, so the generated
+    /// tensor may have slightly fewer — see [`GenSpec::generate`]).
+    pub nnz: usize,
+    /// Zipf exponent per mode (0 = uniform).
+    pub skew: Vec<f64>,
+    /// RNG seed — generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A uniform (no skew) spec.
+    pub fn uniform(shape: Vec<Idx>, nnz: usize, seed: u64) -> Self {
+        let skew = vec![0.0; shape.len()];
+        Self { shape, nnz, skew, seed }
+    }
+
+    /// Generates the tensor with **exactly** `nnz` unique coordinates
+    /// (duplicate draws are rejected, like FROSTT tensors after their
+    /// deduplication), values uniform in `(0, 1]`.
+    ///
+    /// Exact counts matter: the memory-pressure experiments (Fig. 5's OOM
+    /// outcomes) sit on margins of a few percent, which silent collision
+    /// losses would erase. Rejection gives up after `50 × nnz` draws (dense
+    /// saturation) and returns what it has.
+    ///
+    /// Zipf rank `r` is mapped into index space through an affine bijection
+    /// `i = (a·r + b) mod dim` with `gcd(a, dim) = 1`, so hot indices are
+    /// scattered across the range like in real data instead of being
+    /// clustered at 0 — this matters for the contiguous range partitioner,
+    /// which would otherwise see an artificially easy instance.
+    pub fn generate(&self) -> SparseTensor {
+        assert_eq!(self.shape.len(), self.skew.len(), "skew arity must match shape");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let samplers: Vec<Zipf> = self
+            .shape
+            .iter()
+            .zip(&self.skew)
+            .map(|(&dim, &s)| Zipf::new(dim as u64, s))
+            .collect();
+        let scatter: Vec<Scatter> = self
+            .shape
+            .iter()
+            .enumerate()
+            .map(|(m, &dim)| Scatter::new(dim, m as u64))
+            .collect();
+        let n = self.shape.len();
+        let key = CoordKey::new(&self.shape);
+        let mut t = SparseTensor::with_capacity(self.shape.clone(), self.nnz);
+        let mut seen: std::collections::HashSet<u128> =
+            std::collections::HashSet::with_capacity(self.nnz * 2);
+        let mut coords = vec![0 as Idx; n];
+        let mut attempts = 0usize;
+        let max_attempts = self.nnz.saturating_mul(50).max(1000);
+        while t.nnz() < self.nnz && attempts < max_attempts {
+            attempts += 1;
+            for (m, z) in samplers.iter().enumerate() {
+                coords[m] = scatter[m].apply(z.sample(&mut rng));
+            }
+            match key.pack(&coords) {
+                Some(k) if !seen.insert(k) => continue,
+                _ => {}
+            }
+            let v: f32 = 1.0 - rng.gen::<f32>(); // (0, 1]
+            t.push(&coords, v);
+        }
+        if key.packable() {
+            t
+        } else {
+            // Index space too wide to dedup by packed key: fall back to the
+            // sort-based merge (never hit by the shipped dataset shapes).
+            t.deduplicated()
+        }
+    }
+}
+
+/// Packs coordinate tuples into a `u128` key using per-mode bit widths;
+/// usable whenever the total width fits 128 bits (true for every dataset
+/// shape in this repository).
+struct CoordKey {
+    shifts: Vec<u32>,
+    packable: bool,
+}
+
+impl CoordKey {
+    fn new(shape: &[Idx]) -> Self {
+        let bits: Vec<u32> = shape
+            .iter()
+            .map(|&d| (64 - (d as u64).saturating_sub(1).leading_zeros()).max(1))
+            .collect();
+        let total: u32 = bits.iter().sum();
+        let mut shifts = vec![0u32; shape.len()];
+        let mut acc = 0u32;
+        for m in (0..shape.len()).rev() {
+            shifts[m] = acc;
+            acc += bits[m];
+        }
+        Self { shifts, packable: total <= 128 }
+    }
+
+    fn packable(&self) -> bool {
+        self.packable
+    }
+
+    fn pack(&self, coords: &[Idx]) -> Option<u128> {
+        if !self.packable {
+            return None;
+        }
+        let mut k = 0u128;
+        for (m, &c) in coords.iter().enumerate() {
+            k |= (c as u128) << self.shifts[m];
+        }
+        Some(k)
+    }
+}
+
+/// An affine bijection `r ↦ (a·r + b) mod dim` used to spread Zipf ranks over
+/// the index range. Being a bijection preserves the rank histogram exactly.
+#[derive(Clone, Copy, Debug)]
+struct Scatter {
+    a: u64,
+    b: u64,
+    dim: u64,
+}
+
+impl Scatter {
+    fn new(dim: Idx, mode: u64) -> Self {
+        let dim = dim as u64;
+        let mut a = (0x9E37_79B9_7F4A_7C15u64 ^ mode.wrapping_mul(0xD1B5_4A32_D192_ED03)) % dim;
+        if a == 0 {
+            a = 1;
+        }
+        // Walk forward until coprime with dim; terminates because some unit
+        // exists below any dim ≥ 1 (a = 1 always works).
+        while gcd(a, dim) != 1 {
+            a = if a + 1 >= dim { 1 } else { a + 1 };
+        }
+        let b = 0x94D0_49BB_1331_11EBu64.wrapping_mul(mode + 1) % dim;
+        Self { a, b, dim }
+    }
+
+    #[inline]
+    fn apply(&self, rank: u64) -> Idx {
+        // rank, a < dim ≤ 2³² so the product cannot overflow u64.
+        ((self.a * rank + self.b) % self.dim) as Idx
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Generates an exact rank-`rank` CP tensor sampled at `nnz` random
+/// coordinates, returning the tensor and the ground-truth factor matrices
+/// (row-major `dim × rank` as flat vectors).
+///
+/// `noise` adds zero-mean uniform perturbation of the given relative magnitude
+/// to each sampled value. With `noise = 0` CP-ALS at the true rank must reach
+/// fit ≈ 1 — the convergence integration tests rely on this.
+pub fn low_rank(
+    shape: &[Idx],
+    rank: usize,
+    nnz: usize,
+    noise: f64,
+    seed: u64,
+) -> (SparseTensor, Vec<Vec<Val>>) {
+    let cells: f64 = shape.iter().map(|&d| d as f64).product();
+    assert!(
+        (nnz as f64) <= 0.5 * cells,
+        "low_rank requires nnz ≤ half the dense cell count for unique sampling"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = shape.len();
+    // Ground-truth factors, entries in [0.1, 1.1) to keep values well scaled
+    // and bounded away from zero (avoids degenerate all-zero rows).
+    let factors: Vec<Vec<Val>> = shape
+        .iter()
+        .map(|&dim| (0..dim as usize * rank).map(|_| 0.1 + rng.gen::<f32>()).collect())
+        .collect();
+    let mut t = SparseTensor::with_capacity(shape.to_vec(), nnz);
+    let mut seen = std::collections::HashSet::with_capacity(nnz);
+    let mut coords = vec![0 as Idx; n];
+    while t.nnz() < nnz {
+        for (m, &dim) in shape.iter().enumerate() {
+            coords[m] = rng.gen_range(0..dim);
+        }
+        // Exact values require unique coordinates: a duplicate draw would be
+        // merged by deduplication and double the stored value.
+        if !seen.insert(coords.clone()) {
+            continue;
+        }
+        let mut v = 0.0f64;
+        for r in 0..rank {
+            let mut prod = 1.0f64;
+            for (m, f) in factors.iter().enumerate() {
+                prod *= f[coords[m] as usize * rank + r] as f64;
+            }
+            v += prod;
+        }
+        if noise > 0.0 {
+            v *= 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        }
+        t.push(&coords, v as Val);
+    }
+    (t, factors)
+}
+
+/// Generates an exact rank-`rank` CP tensor with **every** cell stored
+/// (dense content in COO form), returning the tensor and the ground-truth
+/// factors.
+///
+/// Unlike [`low_rank`], which samples a subset of cells (and therefore mixes
+/// the low-rank signal with implicit zeros), this tensor *is* exactly
+/// rank-`rank`, so CP-ALS at that rank must reach fit ≈ 1. Keep shapes tiny —
+/// the cell count is the product of the dims.
+pub fn low_rank_dense(
+    shape: &[Idx],
+    rank: usize,
+    noise: f64,
+    seed: u64,
+) -> (SparseTensor, Vec<Vec<Val>>) {
+    let cells: usize = shape.iter().map(|&d| d as usize).product();
+    assert!(cells <= 1_000_000, "dense low-rank generator is for small shapes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let factors: Vec<Vec<Val>> = shape
+        .iter()
+        .map(|&dim| (0..dim as usize * rank).map(|_| 0.1 + rng.gen::<f32>()).collect())
+        .collect();
+    let n = shape.len();
+    let mut t = SparseTensor::with_capacity(shape.to_vec(), cells);
+    let mut coords = vec![0 as Idx; n];
+    for cell in 0..cells {
+        let mut rem = cell;
+        for (m, &dim) in shape.iter().enumerate().rev() {
+            coords[m] = (rem % dim as usize) as Idx;
+            rem /= dim as usize;
+        }
+        let mut v = 0.0f64;
+        for r in 0..rank {
+            let mut prod = 1.0f64;
+            for (m, f) in factors.iter().enumerate() {
+                prod *= f[coords[m] as usize * rank + r] as f64;
+            }
+            v += prod;
+        }
+        if noise > 0.0 {
+            v *= 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        }
+        t.push(&coords, v as Val);
+    }
+    (t, factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_respects_spec() {
+        let spec = GenSpec::uniform(vec![50, 60, 70], 2000, 11);
+        let t = spec.generate();
+        assert_eq!(t.shape(), &[50, 60, 70]);
+        // Dedup may remove a few collisions but the bulk must survive.
+        assert!(t.nnz() > 1900, "too many collisions: {}", t.nnz());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GenSpec::uniform(vec![20, 20], 500, 3);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GenSpec::uniform(vec![20, 20], 500, 3).generate();
+        let b = GenSpec::uniform(vec![20, 20], 500, 4).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skewed_mode_is_more_concentrated_than_uniform() {
+        let skewed = GenSpec {
+            shape: vec![1000, 1000],
+            nnz: 20_000,
+            skew: vec![1.2, 0.0],
+            seed: 5,
+        }
+        .generate();
+        let h0 = skewed.mode_hist(0);
+        let h1 = skewed.mode_hist(1);
+        let max0 = h0.iter().copied().max().unwrap();
+        let max1 = h1.iter().copied().max().unwrap();
+        assert!(
+            max0 > 4 * max1,
+            "skewed mode max {max0} should dominate uniform mode max {max1}"
+        );
+    }
+
+    #[test]
+    fn low_rank_values_match_factors() {
+        let (t, factors) = low_rank(&[8, 9, 10], 3, 200, 0.0, 7);
+        for e in t.iter() {
+            let mut want = 0.0f64;
+            for r in 0..3 {
+                let mut prod = 1.0f64;
+                for (m, f) in factors.iter().enumerate() {
+                    prod *= f[e.coords[m] as usize * 3 + r] as f64;
+                }
+                want += prod;
+            }
+            assert!(
+                (e.val as f64 - want).abs() < 1e-4 * want.abs().max(1.0),
+                "value {} != expected {want}",
+                e.val
+            );
+        }
+    }
+
+    #[test]
+    fn low_rank_values_positive() {
+        let (t, _) = low_rank(&[10, 10, 10], 4, 500, 0.05, 9);
+        assert!(t.iter().all(|e| e.val > 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! FROSTT `.tns` text format I/O.
+//!
+//! The FROSTT repository (the paper's dataset source) distributes tensors as
+//! whitespace-separated text: one nonzero per line, `N` one-based coordinates
+//! followed by the value. Lines starting with `#` are comments. This reader
+//! accepts exactly that, so the real billion-scale tensors can be substituted
+//! for the synthetic ones where hardware allows.
+
+use crate::{Idx, SparseTensor, Val};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from `.tns` parsing.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse(usize, String),
+    /// The file contained no nonzero elements.
+    Empty,
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "I/O error: {e}"),
+            TnsError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            TnsError::Empty => write!(f, "no nonzero elements found"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads a tensor from FROSTT `.tns` text.
+///
+/// The tensor order is inferred from the first data line; the shape is the
+/// per-mode maximum coordinate (FROSTT files carry no explicit header).
+pub fn read_tns(reader: impl BufRead) -> Result<SparseTensor, TnsError> {
+    let mut order: Option<usize> = None;
+    let mut coords: Vec<Idx> = Vec::new();
+    let mut values: Vec<Val> = Vec::new();
+    let mut shape: Vec<Idx> = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let toks: Vec<&str> = fields.by_ref().collect();
+        if toks.len() < 2 {
+            return Err(TnsError::Parse(line_no, "expected at least one index and a value".into()));
+        }
+        let n = toks.len() - 1;
+        match order {
+            None => {
+                order = Some(n);
+                shape = vec![0; n];
+            }
+            Some(o) if o != n => {
+                return Err(TnsError::Parse(
+                    line_no,
+                    format!("expected {o} coordinates, found {n}"),
+                ));
+            }
+            _ => {}
+        }
+        for (m, tok) in toks[..n].iter().enumerate() {
+            let one_based: u64 = tok
+                .parse()
+                .map_err(|_| TnsError::Parse(line_no, format!("bad index '{tok}'")))?;
+            if one_based == 0 {
+                return Err(TnsError::Parse(line_no, "indices are 1-based; found 0".into()));
+            }
+            let zero_based = one_based - 1;
+            if zero_based > Idx::MAX as u64 {
+                return Err(TnsError::Parse(
+                    line_no,
+                    format!("index {one_based} exceeds the 32-bit coordinate range"),
+                ));
+            }
+            let c = zero_based as Idx;
+            coords.push(c);
+            shape[m] = shape[m].max(c + 1);
+        }
+        let v: Val = toks[n]
+            .parse()
+            .map_err(|_| TnsError::Parse(line_no, format!("bad value '{}'", toks[n])))?;
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(TnsError::Empty);
+    }
+    Ok(SparseTensor::from_parts(shape, coords, values))
+}
+
+/// Reads a `.tns` file from disk.
+pub fn read_tns_file(path: impl AsRef<Path>) -> Result<SparseTensor, TnsError> {
+    let f = std::fs::File::open(path)?;
+    read_tns(std::io::BufReader::new(f))
+}
+
+/// Writes a tensor as FROSTT `.tns` text (1-based coordinates).
+pub fn write_tns(t: &SparseTensor, writer: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for e in t.iter() {
+        for &c in e.coords {
+            write!(w, "{} ", c + 1)?;
+        }
+        writeln!(w, "{}", e.val)?;
+    }
+    w.flush()
+}
+
+/// Writes a tensor to a `.tns` file on disk.
+pub fn write_tns_file(t: &SparseTensor, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_tns(t, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenSpec;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "# a comment\n1 1 1 1.5\n2 3 4 -2.0\n\n3 1 2 0.25\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.shape(), &[3, 3, 4]);
+        assert_eq!(t.coords(1), &[1, 2, 3]);
+        assert_eq!(t.value(1), -2.0);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let err = read_tns("0 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse(1, _)));
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        let err = read_tns("1 1 1.0\n1 1 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse(2, _)));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_tns("# only comments\n".as_bytes()), Err(TnsError::Empty)));
+    }
+
+    #[test]
+    fn round_trip_preserves_tensor() {
+        let t = GenSpec::uniform(vec![30, 40, 50], 500, 99).generate();
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        assert_eq!(back.order(), t.order());
+        assert_eq!(back.nnz(), t.nnz());
+        // Shape is inferred from max coordinate, so it may shrink; all
+        // elements must survive exactly.
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert_eq!(a.coords, b.coords);
+            assert!((a.val - b.val).abs() <= 1e-6 * a.val.abs());
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = GenSpec::uniform(vec![10, 10], 50, 1).generate();
+        let dir = std::env::temp_dir().join("amped_tns_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        write_tns_file(&t, &path).unwrap();
+        let back = read_tns_file(&path).unwrap();
+        assert_eq!(back.nnz(), t.nnz());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,133 @@
+//! Distribution statistics over sparse tensors.
+//!
+//! The partitioner and the simulator cost model both reason about how
+//! nonzeros distribute over mode indices: skew decides shard balance (paper
+//! §5.5), and the count of *distinct* indices touched decides factor-matrix
+//! memory traffic in the elementwise computation (§3.0.1 steps 2–4).
+
+use crate::{Idx, SparseTensor};
+use serde::Serialize;
+
+/// Summary statistics for one mode of a tensor.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModeStats {
+    /// Mode number.
+    pub mode: usize,
+    /// Declared mode size `|I_d|`.
+    pub dim: Idx,
+    /// Number of distinct indices that actually hold nonzeros.
+    pub distinct: u64,
+    /// Largest nonzero count on a single index.
+    pub max_per_index: u64,
+    /// Mean nonzero count over *used* indices.
+    pub mean_per_used_index: f64,
+    /// Imbalance ratio `max / mean_used` (1.0 = perfectly even).
+    pub imbalance: f64,
+}
+
+/// Whole-tensor statistics: one [`ModeStats`] per mode plus global counts.
+#[derive(Clone, Debug, Serialize)]
+pub struct TensorStats {
+    /// Nonzero count.
+    pub nnz: usize,
+    /// Mode sizes.
+    pub shape: Vec<Idx>,
+    /// Fraction of the dense index space that is populated.
+    pub density: f64,
+    /// Per-mode distribution summaries.
+    pub modes: Vec<ModeStats>,
+}
+
+/// Computes [`ModeStats`] for mode `d`.
+pub fn mode_stats(t: &SparseTensor, d: usize) -> ModeStats {
+    let hist = t.mode_hist(d);
+    let distinct = hist.iter().filter(|&&h| h > 0).count() as u64;
+    let max_per_index = hist.iter().copied().max().unwrap_or(0);
+    let mean = if distinct == 0 { 0.0 } else { t.nnz() as f64 / distinct as f64 };
+    ModeStats {
+        mode: d,
+        dim: t.dim(d),
+        distinct,
+        max_per_index,
+        mean_per_used_index: mean,
+        imbalance: if mean > 0.0 { max_per_index as f64 / mean } else { 0.0 },
+    }
+}
+
+/// Computes [`TensorStats`] for the whole tensor.
+pub fn tensor_stats(t: &SparseTensor) -> TensorStats {
+    let dense_cells: f64 = t.shape().iter().map(|&d| d as f64).product();
+    TensorStats {
+        nnz: t.nnz(),
+        shape: t.shape().to_vec(),
+        density: if dense_cells > 0.0 { t.nnz() as f64 / dense_cells } else { 0.0 },
+        modes: (0..t.order()).map(|d| mode_stats(t, d)).collect(),
+    }
+}
+
+/// Number of distinct mode-`d` indices in the element range `lo..hi` of `t`.
+///
+/// Used by the cost model to estimate factor-row reuse within a shard without
+/// allocating a full histogram: sorts a scratch copy of the range's indices.
+pub fn distinct_in_range(t: &SparseTensor, d: usize, lo: usize, hi: usize) -> u64 {
+    let mut keys: Vec<Idx> = (lo..hi).map(|e| t.idx(e, d)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenSpec;
+
+    #[test]
+    fn stats_on_uniform_tensor() {
+        let t = GenSpec::uniform(vec![100, 100], 5000, 21).generate();
+        let s = tensor_stats(&t);
+        assert_eq!(s.nnz, t.nnz());
+        assert!(s.density > 0.0 && s.density <= 1.0);
+        for m in &s.modes {
+            assert!(m.distinct <= m.dim as u64);
+            assert!(m.imbalance >= 1.0, "max cannot be below the mean of used indices");
+            // Uniform data should be fairly even.
+            assert!(m.imbalance < 4.0, "uniform imbalance too high: {}", m.imbalance);
+        }
+    }
+
+    #[test]
+    fn skewed_mode_has_higher_imbalance() {
+        let skewed = GenSpec {
+            shape: vec![500, 500],
+            nnz: 10_000,
+            skew: vec![1.2, 0.0],
+            seed: 22,
+        }
+        .generate();
+        let s0 = mode_stats(&skewed, 0);
+        let s1 = mode_stats(&skewed, 1);
+        assert!(
+            s0.imbalance > 2.0 * s1.imbalance,
+            "skewed imbalance {} should dominate uniform {}",
+            s0.imbalance,
+            s1.imbalance
+        );
+    }
+
+    #[test]
+    fn distinct_in_range_matches_hist() {
+        let t = GenSpec::uniform(vec![50, 50, 50], 300, 23).generate();
+        let full = distinct_in_range(&t, 1, 0, t.nnz());
+        let s = mode_stats(&t, 1);
+        assert_eq!(full, s.distinct);
+        // Sub-ranges can only see fewer or equal distinct indices.
+        let half = distinct_in_range(&t, 1, 0, t.nnz() / 2);
+        assert!(half <= full);
+    }
+
+    #[test]
+    fn distinct_of_empty_range_is_zero() {
+        let t = GenSpec::uniform(vec![10, 10], 20, 1).generate();
+        assert_eq!(distinct_in_range(&t, 0, 5, 5), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Full CP decomposition: CP-ALS with the AMPED engine as the MTTKRP
+//! backend, on a synthetic tensor with known low-rank structure.
+//!
+//! ```text
+//! cargo run --release --example cpd_als
+//! ```
+
+use amped::prelude::*;
+
+fn main() {
+    // An exactly rank-6 dense tensor (stored as COO) with 2% noise — the
+    // ground truth CP-ALS should recover almost perfectly.
+    let (tensor, _truth) = low_rank_dense(&[40, 35, 30], 6, 0.02, 11);
+    println!(
+        "tensor {:?}, {} stored entries, exact CP rank 6 (+2% noise)",
+        tensor.shape(),
+        tensor.nnz()
+    );
+
+    let platform = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
+    let cfg = AmpedConfig { rank: 6, isp_nnz: 2048, shard_nnz_budget: 16384, ..Default::default() };
+    let mut engine = AmpedEngine::new(&tensor, platform, cfg).expect("fits");
+
+    let opts = AlsOptions { max_iters: 40, tol: 1e-7, seed: 3 };
+    let result = cp_als(&mut engine, &opts).expect("ALS runs");
+
+    println!("\niter   fit");
+    for (i, fit) in result.fits.iter().enumerate() {
+        println!("{:>4}   {:.6}", i + 1, fit);
+    }
+    let final_fit = result.fits.last().copied().unwrap_or(0.0);
+    println!(
+        "\nconverged after {} iterations, fit = {:.4} (λ = {:?})",
+        result.iterations,
+        final_fit,
+        result
+            .lambda
+            .iter()
+            .map(|l| format!("{l:.2}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "simulated MTTKRP time across the whole decomposition: {:.3} ms ({} MTTKRP calls)",
+        result.report.total_time * 1e3,
+        result.report.per_mode.len()
+    );
+    assert!(final_fit > 0.95, "rank-6 structure should be recovered");
+    println!("fit > 0.95 ✓ — decomposition recovered the planted structure");
+}

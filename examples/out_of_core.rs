@@ -1,0 +1,61 @@
+//! Out-of-memory behaviour (the story behind Fig. 5's "runtime error" bars):
+//! a tensor that exceeds single-GPU memory kills the GPU-resident baselines
+//! while AMPED and BLCO stream it from host memory.
+//!
+//! ```text
+//! cargo run --release --example out_of_core
+//! ```
+
+use amped::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A tensor whose COO payload (~12.8 MiB) exceeds the scaled 48 GB → 9.6 MiB
+    // GPU memory: nothing GPU-resident can run, streaming systems can.
+    let scale = 2e-4;
+    let tensor = GenSpec {
+        shape: vec![60_000, 20_000, 20_000],
+        nnz: 800_000,
+        skew: vec![0.8, 0.6, 0.6],
+        seed: 99,
+    }
+    .generate();
+    let platform1 = PlatformSpec::rtx6000_ada_node(1).scaled(scale);
+    let platform4 = PlatformSpec::rtx6000_ada_node(4).scaled(scale);
+    println!(
+        "tensor COO payload: {:.1} MiB; scaled single-GPU memory: {:.1} MiB",
+        tensor.bytes() as f64 / (1 << 20) as f64,
+        platform1.gpus[0].mem_bytes as f64 / (1 << 20) as f64
+    );
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let factors: Vec<Mat> =
+        tensor.shape().iter().map(|&d| Mat::random(d as usize, 32, &mut rng)).collect();
+
+    let mut systems: Vec<Box<dyn MttkrpSystem>> = vec![
+        Box::new(AmpedSystem::with_rank(platform4, 32)),
+        Box::new(BlcoSystem::new(platform1.clone())),
+        Box::new(MmCsfSystem::new(platform1.clone())),
+        Box::new(PartiSystem::new(platform1.clone())),
+        Box::new(FlycooSystem::new(platform1)),
+    ];
+
+    println!("\nsystem        outcome");
+    for sys in systems.iter_mut() {
+        match sys.execute(&tensor, &factors) {
+            Ok(run) => println!(
+                "{:<12}  {:.3} ms (gpu peak {:.1} MiB)",
+                sys.name(),
+                run.report.total_time * 1e3,
+                run.gpu_mem_peak as f64 / (1 << 20) as f64
+            ),
+            Err(e) => println!("{:<12}  runtime error — {e}", sys.name()),
+        }
+    }
+    println!(
+        "\nAMPED and BLCO stream shards from the 1.5 TB host memory, so GPU \
+         capacity never binds;\nthe GPU-resident baselines hit the same wall the \
+         paper reports on Amazon/Patents/Reddit."
+    );
+}

@@ -1,0 +1,49 @@
+//! # AMPED — multi-GPU sparse MTTKRP for billion-scale tensor decomposition
+//!
+//! Facade crate re-exporting the whole workspace: the AMPED engine
+//! ([`amped_core`]), the sparse tensor substrate ([`amped_tensor`]), the
+//! simulated multi-GPU platform ([`amped_sim`]), the partitioner
+//! ([`amped_partition`]), the baseline formats ([`amped_formats`]) and
+//! systems ([`amped_baselines`]), and the dense linear algebra
+//! ([`amped_linalg`]).
+//!
+//! See the repository README for a tour, DESIGN.md for the system inventory
+//! and hardware-substitution rationale, and `examples/` for runnable entry
+//! points:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example cpd_als
+//! cargo run --release --example multi_gpu_scaling
+//! cargo run --release --example out_of_core
+//! cargo run --release --example twitch_5mode
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use amped_baselines as baselines;
+pub use amped_core as core;
+pub use amped_formats as formats;
+pub use amped_linalg as linalg;
+pub use amped_partition as partition;
+pub use amped_sim as sim;
+pub use amped_tensor as tensor;
+
+/// Convenience re-exports covering the common workflow: build a tensor,
+/// configure a platform, run the engine, inspect reports.
+pub mod prelude {
+    pub use amped_baselines::{
+        AmpedSystem, BlcoSystem, EqualNnzSystem, FlycooSystem, MmCsfSystem, MttkrpSystem,
+        PartiSystem, SystemRun,
+    };
+    pub use amped_core::als::{cp_als, AlsOptions, AlsResult};
+    pub use amped_core::reference::{mttkrp_par, mttkrp_ref};
+    pub use amped_core::{AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, SchedulePolicy};
+    pub use amped_linalg::Mat;
+    pub use amped_partition::{EqualPlan, ModePlan, PartitionPlan};
+    pub use amped_sim::metrics::{geomean, RunReport};
+    pub use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
+    pub use amped_tensor::datasets::Dataset;
+    pub use amped_tensor::gen::{low_rank, low_rank_dense, GenSpec};
+    pub use amped_tensor::{io, Idx, SparseTensor, Val};
+}

@@ -1,0 +1,115 @@
+//! Cross-crate correctness: every system (AMPED + all baselines) computes
+//! the same MTTKRP-along-all-modes chain as the sequential reference.
+
+use amped::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+}
+
+/// Algorithm-1 semantics: each mode's MTTKRP output replaces the factor
+/// before the next mode (λ-normalized, as every system under test does, to
+/// keep chained values within `f32` range).
+fn reference_chain(t: &SparseTensor, factors: &[Mat]) -> Vec<Mat> {
+    let mut fs = factors.to_vec();
+    for d in 0..t.order() {
+        fs[d] = mttkrp_ref(t, &fs, d);
+        fs[d].normalize_cols();
+    }
+    fs
+}
+
+fn check(run: &SystemRun, want: &[Mat], label: &str) {
+    for (d, (got, exp)) in run.factors.iter().zip(want).enumerate() {
+        assert!(
+            got.approx_eq(exp, 2e-3, 1e-3),
+            "{label} mode {d}: max diff {}",
+            got.max_abs_diff(exp)
+        );
+    }
+}
+
+#[test]
+fn three_mode_tensor_all_systems() {
+    let t = GenSpec {
+        shape: vec![60, 45, 50],
+        nnz: 3000,
+        skew: vec![0.8, 0.0, 0.5],
+        seed: 301,
+    }
+    .generate();
+    let factors = factors_for(&t, 8, 302);
+    let want = reference_chain(&t, &factors);
+    let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(1e-3);
+    let p4 = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
+
+    let mut systems: Vec<Box<dyn MttkrpSystem>> = vec![
+        Box::new(AmpedSystem::with_rank(p4.clone(), 8)),
+        Box::new(BlcoSystem::new(p1.clone())),
+        Box::new(MmCsfSystem::new(p1.clone())),
+        Box::new(PartiSystem::new(p1.clone())),
+        Box::new(FlycooSystem::new(p1)),
+        Box::new(EqualNnzSystem::new(p4)),
+    ];
+    for sys in systems.iter_mut() {
+        let run = sys.execute(&t, &factors).unwrap_or_else(|e| {
+            panic!("{} failed on a tiny tensor: {e}", sys.name());
+        });
+        check(&run, &want, sys.name());
+    }
+}
+
+#[test]
+fn four_mode_tensor_supported_systems() {
+    let t = GenSpec::uniform(vec![20, 24, 18, 16], 2000, 303).generate();
+    let factors = factors_for(&t, 4, 304);
+    let want = reference_chain(&t, &factors);
+    let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(1e-3);
+    let p2 = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+
+    let mut systems: Vec<Box<dyn MttkrpSystem>> = vec![
+        Box::new(AmpedSystem::with_rank(p2.clone(), 4)),
+        Box::new(BlcoSystem::new(p1.clone())),
+        Box::new(MmCsfSystem::new(p1.clone())),
+        Box::new(FlycooSystem::new(p1.clone())),
+        Box::new(EqualNnzSystem::new(p2)),
+    ];
+    for sys in systems.iter_mut() {
+        let run = sys.execute(&t, &factors).expect("4-mode support");
+        check(&run, &want, sys.name());
+    }
+    // ParTI is 3-mode only.
+    let mut parti = PartiSystem::new(p1);
+    assert!(matches!(parti.execute(&t, &factors), Err(SimError::Unsupported(_))));
+}
+
+#[test]
+fn five_mode_tensor_supported_systems() {
+    let t = GenSpec::uniform(vec![14, 12, 10, 9, 8], 1500, 305).generate();
+    let factors = factors_for(&t, 4, 306);
+    let want = reference_chain(&t, &factors);
+    let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(1e-3);
+    let p2 = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+
+    let mut systems: Vec<Box<dyn MttkrpSystem>> = vec![
+        Box::new(AmpedSystem::with_rank(p2, 4)),
+        Box::new(BlcoSystem::new(p1.clone())),
+        Box::new(FlycooSystem::new(p1.clone())),
+    ];
+    for sys in systems.iter_mut() {
+        let run = sys.execute(&t, &factors).expect("5-mode support");
+        check(&run, &want, sys.name());
+    }
+    // MM-CSF and ParTI reject 5 modes (the paper's Twitch gap).
+    assert!(matches!(
+        MmCsfSystem::new(p1.clone()).execute(&t, &factors),
+        Err(SimError::Unsupported(_))
+    ));
+    assert!(matches!(
+        PartiSystem::new(p1).execute(&t, &factors),
+        Err(SimError::Unsupported(_))
+    ));
+}

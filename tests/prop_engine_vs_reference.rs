@@ -1,0 +1,56 @@
+//! Property test: for random tensors, shapes, GPU counts, and shard/ISP
+//! granularities, the multi-GPU engine agrees with the sequential reference.
+
+use amped::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #[test]
+    fn engine_matches_reference_for_random_configs(
+        dim0 in 8u32..120,
+        dim1 in 8u32..60,
+        dim2 in 8u32..60,
+        nnz in 50usize..1500,
+        gpus in 1usize..5,
+        shard_budget in 64usize..2048,
+        isp in 16usize..512,
+        skew in 0.0f64..1.2,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(shard_budget >= isp);
+        let t = GenSpec {
+            shape: vec![dim0, dim1, dim2],
+            nnz,
+            skew: vec![skew, 0.0, skew / 2.0],
+            seed,
+        }
+        .generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+        let factors: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let cfg = AmpedConfig {
+            rank: 8,
+            isp_nnz: isp,
+            shard_nnz_budget: shard_budget,
+            ..AmpedConfig::default()
+        };
+        let platform = PlatformSpec::rtx6000_ada_node(gpus).scaled(1e-3);
+        let mut engine = AmpedEngine::new(&t, platform, cfg).unwrap();
+        let mode = (seed % 3) as usize;
+        let (out, timing) = engine.mttkrp_mode(mode, &factors).unwrap();
+        let want = mttkrp_ref(&t, &factors, mode);
+        prop_assert!(
+            out.approx_eq(&want, 2e-3, 1e-3),
+            "max diff {} (gpus={gpus}, budget={shard_budget}, isp={isp})",
+            out.max_abs_diff(&want)
+        );
+        prop_assert!(timing.wall > 0.0);
+        // Breakdown sanity: every component non-negative.
+        for g in &timing.per_gpu {
+            prop_assert!(g.compute >= 0.0 && g.h2d >= 0.0 && g.p2p >= 0.0 && g.idle >= 0.0);
+        }
+    }
+}

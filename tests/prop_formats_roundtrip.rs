@@ -1,0 +1,94 @@
+//! Property tests: every baseline format is a lossless re-encoding of the
+//! COO tensor, and its MTTKRP kernel agrees with the reference.
+
+use amped::formats::{CsfTensor, HicooTensor, LinTensor};
+use amped::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn coord_multiset(t: &SparseTensor) -> Vec<(Vec<Idx>, Val)> {
+    let mut v: Vec<(Vec<Idx>, Val)> = t.iter().map(|e| (e.coords.to_vec(), e.val)).collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lin_round_trip(
+        d0 in 1u32..5000,
+        d1 in 1u32..300,
+        d2 in 1u32..300,
+        nnz in 1usize..400,
+        block in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate();
+        let lt = LinTensor::build(&t, block);
+        let mut back: Vec<(Vec<Idx>, Val)> = (0..lt.blocks().len())
+            .flat_map(|b| lt.block_iter(b).collect::<Vec<_>>())
+            .collect();
+        back.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(coord_multiset(&t), back);
+    }
+
+    #[test]
+    fn hicoo_round_trip(
+        d0 in 1u32..2000,
+        d1 in 1u32..2000,
+        nnz in 1usize..400,
+        bits in 1u32..9,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![d0, d1], nnz, seed).generate();
+        let h = HicooTensor::build(&t, bits);
+        let mut back: Vec<(Vec<Idx>, Val)> = (0..h.num_blocks())
+            .flat_map(|b| h.block_iter(b).collect::<Vec<_>>())
+            .collect();
+        back.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(coord_multiset(&t), back);
+    }
+
+    #[test]
+    fn csf_mttkrp_agrees_with_reference(
+        d0 in 2u32..40,
+        d1 in 2u32..40,
+        d2 in 2u32..40,
+        nnz in 1usize..300,
+        mode in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC5F);
+        let fs: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, 6, &mut rng)).collect();
+        let csf = CsfTensor::build(&t, &CsfTensor::order_for_output(&t, mode));
+        let mut out = Mat::zeros(t.dim(mode) as usize, 6);
+        csf.mttkrp_root(&fs, &mut out);
+        let want = mttkrp_ref(&t, &fs, mode);
+        prop_assert!(
+            out.approx_eq(&want, 1e-3, 1e-4),
+            "mode {mode}: max diff {}",
+            out.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn format_bytes_accounting_is_consistent(
+        nnz in 1usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![100, 100, 100], nnz, seed).generate();
+        let lt = LinTensor::build(&t, 64);
+        let block_sum: u64 = (0..lt.blocks().len()).map(|b| lt.block_bytes(b)).sum();
+        prop_assert_eq!(block_sum, lt.bytes());
+        let h = HicooTensor::build(&t, 4);
+        let elems: usize = (0..h.num_blocks()).map(|b| h.block_nnz(b)).sum();
+        prop_assert_eq!(elems, t.nnz());
+        let csf = CsfTensor::build(&t, &[0, 1, 2]);
+        let leaves: usize = csf.root_leaf_counts().iter().sum();
+        prop_assert_eq!(leaves, t.nnz());
+    }
+}

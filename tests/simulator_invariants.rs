@@ -1,0 +1,141 @@
+//! Simulator-level invariants: time accounting, memory accounting, and cost
+//! monotonicity properties that every experiment implicitly relies on.
+
+use amped::prelude::*;
+use amped::sim::costmodel::{BlockStats, CostModel};
+use amped::sim::GpuSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+}
+
+#[test]
+fn breakdown_components_are_nonnegative_and_consistent() {
+    let t = GenSpec {
+        shape: vec![500, 300, 300],
+        nnz: 30_000,
+        skew: vec![1.0, 0.5, 0.0],
+        seed: 601,
+    }
+    .generate();
+    let factors = factors_for(&t, 16, 602);
+    let run = AmpedSystem::with_rank(PlatformSpec::rtx6000_ada_node(3).scaled(1e-3), 16)
+        .execute(&t, &factors)
+        .unwrap();
+    for (g, b) in run.report.per_gpu.iter().enumerate() {
+        assert!(b.compute >= 0.0 && b.h2d >= 0.0 && b.p2p >= 0.0 && b.idle >= 0.0, "gpu{g}");
+        assert!(b.total() >= b.communication(), "gpu{g}");
+    }
+    // Per-mode walls sum to the total.
+    let sum: f64 = run.report.per_mode.iter().sum();
+    assert!((sum - run.report.total_time).abs() < 1e-12);
+    // Fig. 7 fractions form a distribution.
+    let (c, h, p) = run.report.fig7_fractions();
+    assert!((c + h + p - 1.0).abs() < 1e-9);
+    assert!(c > 0.0 && h > 0.0 && p >= 0.0);
+}
+
+#[test]
+fn simulated_time_scales_with_work() {
+    // Twice the nonzeros must not run faster (same shapes, same platform).
+    let mk = |nnz: usize| {
+        let t = GenSpec::uniform(vec![2000, 500, 500], nnz, 603).generate();
+        let factors = factors_for(&t, 32, 604);
+        AmpedSystem::with_rank(PlatformSpec::rtx6000_ada_node(2).scaled(1e-3), 32)
+            .execute(&t, &factors)
+            .unwrap()
+            .report
+            .total_time
+    };
+    let small = mk(20_000);
+    let large = mk(80_000);
+    assert!(
+        large > 1.5 * small,
+        "4× the nonzeros should take clearly longer: {small:.3e} vs {large:.3e}"
+    );
+}
+
+#[test]
+fn block_time_monotone_in_concurrency_pressure() {
+    // More blocks competing for bandwidth → each block slower (or equal).
+    let m = CostModel::default();
+    let g = GpuSpec::rtx6000_ada();
+    let s = BlockStats {
+        nnz: 8192,
+        distinct_out: 2000,
+        max_out_run: 8,
+        distinct_in_total: 9000,
+        dram_factor_reads: 9000,
+        sorted_by_output: true,
+        order: 3,
+        rank: 32,
+        elem_bytes: 16,
+    };
+    let mut prev = 0.0;
+    for conc in [1usize, 2, 8, 32, 142, 500] {
+        let t = m.block_time(&g, &s, 1.0, conc);
+        assert!(t >= prev, "block time must not drop with more pressure");
+        prev = t;
+    }
+    // Beyond the SM count, pressure saturates.
+    assert_eq!(m.block_time(&g, &s, 1.0, 142), m.block_time(&g, &s, 1.0, 10_000));
+}
+
+#[test]
+fn dram_factor_reads_monotone_in_cache_size() {
+    use amped::sim::costmodel::dram_factor_reads;
+    let counts: Vec<u32> = (1..200u32).collect();
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut prev = u64::MAX;
+    for cache in [0usize, 1, 10, 50, 199, 1000] {
+        let reads = dram_factor_reads(counts.clone(), cache);
+        assert!(reads <= prev, "bigger cache must not increase DRAM reads");
+        assert!(reads <= total, "reads cannot exceed accesses");
+        prev = reads;
+    }
+    // Infinite cache: exactly one fill per distinct row.
+    assert_eq!(dram_factor_reads(counts.clone(), usize::MAX), counts.len() as u64);
+    // No cache: every access misses.
+    assert_eq!(dram_factor_reads(counts, 0), total);
+}
+
+#[test]
+fn gpu_memory_peaks_are_reported_and_bounded() {
+    let t = Dataset::Twitch.generate(1e-4);
+    let factors = factors_for(&t, 32, 605);
+    let spec = PlatformSpec::rtx6000_ada_node(4).scaled(1e-4);
+    let cap = spec.gpus[0].mem_bytes;
+    let run = AmpedSystem::with_rank(spec, 32).execute(&t, &factors).unwrap();
+    assert!(run.gpu_mem_peak > 0);
+    assert!(run.gpu_mem_peak <= cap, "peak {} exceeds capacity {cap}", run.gpu_mem_peak);
+}
+
+#[test]
+fn preprocessing_wall_time_is_measured() {
+    let t = Dataset::Amazon.generate(5e-5);
+    let factors = factors_for(&t, 32, 606);
+    let run = AmpedSystem::with_rank(PlatformSpec::rtx6000_ada_node(2).scaled(5e-5), 32)
+        .execute(&t, &factors)
+        .unwrap();
+    assert!(
+        run.report.preprocess_wall > 0.0,
+        "real preprocessing time must be recorded (Fig. 10)"
+    );
+}
+
+#[test]
+fn equal_nnz_merge_costs_appear_only_there() {
+    let t = GenSpec::uniform(vec![400, 200, 200], 20_000, 607).generate();
+    let factors = factors_for(&t, 16, 608);
+    let p = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
+    let amped = AmpedSystem::with_rank(p.clone(), 16).execute(&t, &factors).unwrap();
+    let equal = EqualNnzSystem::new(p).execute(&t, &factors).unwrap();
+    let a = amped.report.aggregate();
+    let e = equal.report.aggregate();
+    assert_eq!(a.d2h, 0.0, "AMPED never copies results back to the host");
+    assert_eq!(a.host, 0.0, "AMPED never computes on the host");
+    assert!(e.d2h > 0.0 && e.host > 0.0, "equal-nnz must pay the merge round trip");
+}
