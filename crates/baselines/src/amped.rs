@@ -74,11 +74,11 @@ mod tests {
             want[d] = mttkrp_ref(&t, &want, d);
             want[d].normalize_cols();
         }
-        for d in 0..3 {
+        for (d, w) in want.iter().enumerate() {
             assert!(
-                run.factors[d].approx_eq(&want[d], 2e-3, 1e-3),
+                run.factors[d].approx_eq(w, 2e-3, 1e-3),
                 "mode {d}: max diff {}",
-                run.factors[d].max_abs_diff(&want[d])
+                run.factors[d].max_abs_diff(w)
             );
         }
         assert!(run.report.total_time > 0.0);

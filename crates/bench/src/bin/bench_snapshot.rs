@@ -1,0 +1,246 @@
+//! Benchmark snapshot: quick wall-clock baselines for the five Criterion
+//! bench areas (elementwise kernel, partitioning, formats, atomics, ring
+//! all-gather), emitted through [`amped_bench::reportio`] so successive PRs
+//! have a comparable perf trajectory.
+//!
+//! Usage: `cargo run --release -p amped-bench --bin bench_snapshot [label]`
+//!
+//! Writes `results/BENCH_<label>.csv` and `results/BENCH_<label>.json`
+//! (default label `snapshot`) and prints the Markdown table. Each entry is
+//! the median of five timed repetitions after one warm-up, so a snapshot
+//! finishes in seconds — it is a trend line, not a statistics engine; use
+//! `cargo bench -p amped-bench` for careful measurements.
+
+use amped_bench::reportio::{emit, Table};
+use amped_core::reference::{mttkrp_par, mttkrp_ref};
+use amped_formats::{CsfTensor, HicooTensor, LinTensor};
+use amped_linalg::Mat;
+use amped_partition::{chains_on_chains, ModePlan, PartitionPlan};
+use amped_sim::collective::{ring_allgather, ring_allgather_time};
+use amped_sim::{atomic_add_f32, AtomicMat, LinkSpec};
+use amped_tensor::gen::GenSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::atomic::AtomicU32;
+use std::time::Instant;
+
+/// Median wall time of `reps` runs (after one warm-up), in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn throughput_cell(elems: Option<u64>, secs: f64) -> String {
+    match elems {
+        Some(n) => format!("{:.2} Melem/s", n as f64 / secs / 1e6),
+        None => "—".to_string(),
+    }
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "snapshot".to_string());
+    const REPS: usize = 5;
+    let mut table = Table::new(&["benchmark", "median", "throughput"]);
+    let mut push = |name: &str, secs: f64, elems: Option<u64>| {
+        table.push(vec![
+            name.to_string(),
+            format!("{:.3} ms", secs * 1e3),
+            throughput_cell(elems, secs),
+        ]);
+    };
+
+    // 1. Elementwise kernel (ec_kernel bench): sequential vs parallel host
+    //    MTTKRP oracles at the paper's default rank.
+    {
+        let t = GenSpec::uniform(vec![10_000, 5_000, 5_000], 200_000, 1).generate();
+        let rank = 32;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let factors: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let nnz = t.nnz() as u64;
+        push(
+            "ec_kernel/sequential/r32",
+            median_secs(REPS, || {
+                mttkrp_ref(&t, &factors, 0);
+            }),
+            Some(nnz),
+        );
+        push(
+            "ec_kernel/parallel_atomic/r32",
+            median_secs(REPS, || {
+                mttkrp_par(&t, &factors, 0);
+            }),
+            Some(nnz),
+        );
+    }
+
+    // 2. Partitioning (partition bench): full preprocessing and CCP alone.
+    {
+        let t = GenSpec {
+            shape: vec![20_000, 4_000, 4_000],
+            nnz: 200_000,
+            skew: vec![0.8, 0.5, 0.5],
+            seed: 3,
+        }
+        .generate();
+        let nnz = t.nnz() as u64;
+        push(
+            "partition/all_modes/200k",
+            median_secs(REPS, || {
+                PartitionPlan::build(&t, 4, 1 << 20);
+            }),
+            Some(nnz),
+        );
+        push(
+            "partition/single_mode/200k",
+            median_secs(REPS, || {
+                ModePlan::build(&t, 0, 4, 1 << 20);
+            }),
+            Some(nnz),
+        );
+        let weights: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2_654_435_761) % 1000).collect();
+        push(
+            "partition/ccp_1M_indices",
+            median_secs(REPS, || {
+                chains_on_chains(&weights, 4);
+            }),
+            Some(1_000_000),
+        );
+    }
+
+    // 3. Baseline formats (formats bench): construction + one MTTKRP each.
+    {
+        let t = GenSpec {
+            shape: vec![8_000, 2_000, 2_000],
+            nnz: 150_000,
+            skew: vec![0.7, 0.5, 0.5],
+            seed: 4,
+        }
+        .generate();
+        let rank = 32;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let factors: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let nnz = t.nnz() as u64;
+        push(
+            "formats/build_blco",
+            median_secs(REPS, || {
+                LinTensor::build(&t, 1 << 17);
+            }),
+            Some(nnz),
+        );
+        push(
+            "formats/build_csf",
+            median_secs(REPS, || {
+                CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0));
+            }),
+            Some(nnz),
+        );
+        push(
+            "formats/build_hicoo",
+            median_secs(REPS, || {
+                HicooTensor::build(&t, 5);
+            }),
+            Some(nnz),
+        );
+        let lt = LinTensor::build(&t, 1 << 17);
+        let csf = CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0));
+        let h = HicooTensor::build(&t, 5);
+        push(
+            "formats/mttkrp_blco",
+            median_secs(REPS, || {
+                let mut out = Mat::zeros(t.dim(0) as usize, rank);
+                lt.mttkrp(0, &factors, &mut out);
+            }),
+            Some(nnz),
+        );
+        push(
+            "formats/mttkrp_csf_root",
+            median_secs(REPS, || {
+                let mut out = Mat::zeros(t.dim(0) as usize, rank);
+                csf.mttkrp_root(&factors, &mut out);
+            }),
+            Some(nnz),
+        );
+        push(
+            "formats/mttkrp_hicoo",
+            median_secs(REPS, || {
+                let mut out = Mat::zeros(t.dim(0) as usize, rank);
+                h.mttkrp(0, &factors, &mut out);
+            }),
+            Some(nnz),
+        );
+    }
+
+    // 4. Atomic accumulation (atomics bench): the CAS-loop `atomicAdd`
+    //    analogue, uncontended and scattered.
+    {
+        const N: usize = 100_000;
+        let cell = AtomicU32::new(0f32.to_bits());
+        push(
+            "atomics/single_cell_serial",
+            median_secs(REPS, || {
+                for i in 0..N {
+                    atomic_add_f32(&cell, i as f32 * 1e-9);
+                }
+            }),
+            Some(N as u64),
+        );
+        let m = AtomicMat::zeros(1024, 32);
+        push(
+            "atomics/scattered_matrix_serial",
+            median_secs(REPS, || {
+                for i in 0..N {
+                    m.add((i * 2_654_435_761) % 1024, i % 32, 1.0);
+                }
+            }),
+            Some(N as u64),
+        );
+    }
+
+    // 5. Ring all-gather (allgather bench): functional movement at M = 4 and
+    //    the pure timing model.
+    {
+        let m = 4usize;
+        let rows = 4096;
+        let rank = 32;
+        let blocks: Vec<Vec<f32>> = (0..m).map(|g| vec![g as f32; rows * rank / m]).collect();
+        push(
+            "allgather/functional/4gpu",
+            median_secs(REPS, || {
+                ring_allgather(&blocks);
+            }),
+            None,
+        );
+        let link = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+        let bytes = vec![1_000_000u64; 4];
+        push(
+            "allgather/timing_model",
+            median_secs(REPS, || {
+                ring_allgather_time(&link, &bytes);
+            }),
+            None,
+        );
+    }
+
+    emit(
+        Path::new("results"),
+        &format!("BENCH_{label}"),
+        &format!("Benchmark snapshot `{label}` (median of {REPS} reps)"),
+        &table,
+        serde_json::json!({
+            "label": label,
+            "reps": REPS,
+            "method": "median wall time after one warm-up",
+        }),
+    );
+}

@@ -270,7 +270,7 @@ fn fig9(ctx: &mut ExpContext) {
         let factors = ctx.factors(&tensor, 0xF19_0000 + d.seed());
         let mut row = vec![d.name().to_string()];
         let mut base = None;
-        for m in 1..=max_gpus {
+        for (m, per) in per_m.iter_mut().enumerate().skip(1) {
             let mut sys = amped_baselines::AmpedSystem::new(
                 ctx.platform(m),
                 AmpedConfig { rank: ctx.rank, ..AmpedConfig::default() },
@@ -283,7 +283,7 @@ fn fig9(ctx: &mut ExpContext) {
                     format!("{:.3} ms (1.00×)", time * 1e3)
                 }
                 Some(b) => {
-                    per_m[m].push(b / time);
+                    per.push(b / time);
                     format!("{:.3} ms ({:.2}×)", time * 1e3, b / time)
                 }
             };
@@ -293,8 +293,8 @@ fn fig9(ctx: &mut ExpContext) {
     }
     print!("\nGeomean speedups:");
     let mut gms = Vec::new();
-    for m in 2..=max_gpus {
-        let gm = geomean(per_m[m].iter().copied());
+    for (m, per) in per_m.iter().enumerate().skip(2) {
+        let gm = geomean(per.iter().copied());
         gms.push((m, gm));
         print!(" {m} GPUs = {gm:.2}×;");
     }

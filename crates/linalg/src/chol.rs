@@ -71,16 +71,16 @@ impl CholFactor {
         // Forward substitution: L y = b.
         for i in 0..n {
             let mut sum = b[i] as f64;
-            for k in 0..i {
-                sum -= self.l[i * n + k] * y[k];
+            for (k, &yk) in y[..i].iter().enumerate() {
+                sum -= self.l[i * n + k] * yk;
             }
             y[i] = sum / self.l[i * n + i];
         }
         // Backward substitution: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[k * n + i] * (b[k] as f64);
+            for (k, &bk) in b.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * n + i] * (bk as f64);
             }
             b[i] = (sum / self.l[i * n + i]) as f32;
         }
@@ -120,8 +120,8 @@ mod tests {
         let x_true: Vec<f32> = (0..6).map(|i| (i as f32) - 2.5).collect();
         // b = V x
         let mut b = vec![0.0f32; 6];
-        for i in 0..6 {
-            b[i] = (0..6).map(|j| v.get(i, j) * x_true[j]).sum();
+        for (i, bi) in b.iter_mut().enumerate() {
+            *bi = (0..6).map(|j| v.get(i, j) * x_true[j]).sum();
         }
         let f = cholesky(&v, 0.0).expect("SPD matrix must factorize");
         f.solve_row(&mut b);

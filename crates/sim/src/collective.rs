@@ -34,9 +34,9 @@ pub fn ring_allgather<T: Clone>(blocks: &[T]) -> Vec<Vec<T>> {
         // All sends of one step happen "in parallel": compute them from the
         // pre-step state, then apply.
         let mut arrivals: Vec<(usize, usize, T)> = Vec::with_capacity(m);
-        for g in 0..m {
+        for (g, slot) in slots.iter().enumerate() {
             let src = (g + m - z % m) % m; // (g − z) mod m
-            let block = slots[g][src]
+            let block = slot[src]
                 .clone()
                 .expect("ring invariant: block (g − z) mod M is present at step z");
             let dst = (g + 1) % m;
@@ -101,8 +101,8 @@ mod tests {
             let blocks: Vec<u32> = (0..m as u32).map(|g| g * 100).collect();
             let gathered = ring_allgather(&blocks);
             assert_eq!(gathered.len(), m);
-            for g in 0..m {
-                assert_eq!(gathered[g], blocks, "GPU {g} missing blocks for M={m}");
+            for (g, row) in gathered.iter().enumerate() {
+                assert_eq!(row, &blocks, "GPU {g} missing blocks for M={m}");
             }
         }
     }

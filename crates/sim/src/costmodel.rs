@@ -168,7 +168,7 @@ mod tests {
         BlockStats {
             nnz,
             distinct_out,
-            max_out_run: if distinct_out == 0 { 0 } else { nnz / distinct_out },
+            max_out_run: nnz.checked_div(distinct_out).unwrap_or(0),
             distinct_in_total: distinct_in,
             dram_factor_reads: distinct_in,
             sorted_by_output: false,

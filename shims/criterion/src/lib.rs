@@ -1,0 +1,324 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API surface the workspace's five bench
+//! targets use — [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with plain wall-clock
+//! measurement instead of criterion's statistical machinery.
+//!
+//! Modes (from CLI args, which cargo passes through after `--`):
+//!
+//! * `--test`: smoke mode — every benchmark body runs exactly once and only
+//!   pass/fail is reported (this is what `cargo bench -- --test` does in real
+//!   criterion too).
+//! * default: each benchmark is warmed up once, then timed for a short fixed
+//!   window; mean time per iteration and derived throughput are printed.
+//!
+//! If the `CRITERION_SHIM_JSON` environment variable names a file, one JSON
+//! record per benchmark is appended to it (used to snapshot baselines).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self { name: name.into(), param: Some(param.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string(), param: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s, param: None }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Measured mean nanoseconds per iteration (filled by `iter`).
+    mean_ns: f64,
+    iters: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Smoke,
+    Timed,
+}
+
+impl Bencher {
+    /// Runs the routine: once in smoke mode, or repeatedly for a short
+    /// measurement window in timed mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: one untimed call (also primes caches/allocations).
+        black_box(routine());
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own windows.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mode: self.criterion.mode, mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.render());
+        match self.criterion.mode {
+            Mode::Smoke => println!("test {full} ... ok"),
+            Mode::Timed => {
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Bytes(n) => {
+                        format!("  thrpt: {:.3} GiB/s", n as f64 / b.mean_ns * 1e9 / (1u64 << 30) as f64)
+                    }
+                    Throughput::Elements(n) => {
+                        format!("  thrpt: {:.3} Melem/s", n as f64 / b.mean_ns * 1e9 / 1e6)
+                    }
+                });
+                println!(
+                    "{full:<50} time: {}{} ({} iters)",
+                    fmt_ns(b.mean_ns),
+                    rate.unwrap_or_default(),
+                    b.iters
+                );
+                self.criterion.record(&full, b.mean_ns, b.iters, self.throughput);
+            }
+        }
+    }
+
+    /// Ends the group (printed output only; nothing to flush per-group).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    json_out: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { mode: Mode::Timed, json_out: std::env::var_os("CRITERION_SHIM_JSON").map(Into::into) }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test` selects smoke mode; everything else
+    /// criterion accepts is tolerated and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::Smoke;
+        }
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: std::env::args().next().unwrap_or_else(|| "bench".into()),
+            criterion: self,
+            throughput: None,
+        };
+        let id = id.into();
+        g.run(&id, |b| f(b));
+        self
+    }
+
+    fn record(&mut self, id: &str, mean_ns: f64, iters: u64, thrpt: Option<Throughput>) {
+        let Some(path) = &self.json_out else { return };
+        let (kind, per_iter) = match thrpt {
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            Some(Throughput::Elements(n)) => ("elements", n),
+            None => ("none", 0),
+        };
+        let line = format!(
+            "{{\"id\":{id:?},\"mean_ns\":{mean_ns:.1},\"iters\":{iters},\
+             \"throughput_kind\":{kind:?},\"throughput_per_iter\":{per_iter}}}\n"
+        );
+        let r = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = r {
+            eprintln!("criterion shim: cannot append {}: {e}", path.display());
+        }
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke, json_out: None };
+        let mut count = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn timed_mode_measures_and_reports_iters() {
+        let mut c = Criterion { mode: Mode::Timed, json_out: None };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        assert!(ran > 1, "timed mode should iterate more than once");
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(...)]` header, range strategies over the numeric
+//! types, [`collection::vec`], and the `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from the real crate: case generation is deterministic per
+//! case index (no OS entropy), failures are plain panics carrying the case
+//! number, and there is **no shrinking** — a failing case prints as-is.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies (deterministic per case).
+pub type TestRng = SmallRng;
+
+/// Runner configuration (subset of the real `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the shim never rejects.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 0 }
+    }
+}
+
+/// A value generator: the shim's stand-in for proptest strategies.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing a fixed value (stand-in for `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len` and whose elements
+    /// come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs `body` for each case with a per-case deterministic RNG, labelling
+/// panics with the failing case index.
+pub fn run_cases(cfg: ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..cfg.cases {
+        // Decorrelate consecutive cases with a SplitMix-style multiplier.
+        let seed = (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_5A5A_DEAD_BEEF;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("proptest shim: property failed at case {case}/{}", cfg.cases);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property-test entry point; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(cfg, |__proptest_rng| {
+                    $( let $arg = $crate::Strategy::sample(&($strat), __proptest_rng); )+
+                    $body
+                });
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strat),+ ) $body )+
+        }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold. In the shim the
+/// case simply counts as passed (no global rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3u32..17,
+            b in -4i64..9,
+            x in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..9).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_length_and_elements(
+            v in collection::vec(0u64..50, 1..200),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 200);
+            prop_assert!(v.iter().all(|&e| e < 50));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u32> = Vec::new();
+        let cfg = ProptestConfig { cases: 5, ..ProptestConfig::default() };
+        crate::run_cases(cfg.clone(), |rng| first.push((0u32..1000).sample(rng)));
+        let mut second: Vec<u32> = Vec::new();
+        crate::run_cases(cfg, |rng| second.push((0u32..1000).sample(rng)));
+        assert_eq!(first, second);
+    }
+}

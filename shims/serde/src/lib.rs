@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! one capability the workspace uses: `#[derive(Serialize)]` on plain structs
+//! and unit-variant enums, consumed by the sibling `serde_json` shim. Instead
+//! of the real visitor-based data model, [`Serialize`] converts directly into
+//! the [`Json`] value tree, which `serde_json` renders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Let the derive's generated `::serde::...` paths resolve inside this crate
+// itself (used by the unit tests below).
+extern crate self as serde;
+
+/// Derive macro generating [`Serialize`] impls for structs with named fields
+/// and enums with unit variants.
+pub use serde_derive::Serialize;
+
+/// An owned JSON value tree (object keys preserve insertion order).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; rendered without a trailing `.0` when integral.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Conversion into the [`Json`] value tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("start".to_string(), self.start.to_json()),
+            ("end".to_string(), self.end.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[derive(Serialize)]
+    struct Wrapper<'a, T: Serialize> {
+        inner: &'a T,
+        kinds: Vec<Kind>,
+    }
+
+    #[test]
+    fn derive_struct_preserves_field_order() {
+        let p = Point { x: 1.0, y: 2.0, label: "a".into() };
+        match p.to_json() {
+            Json::Obj(fields) => {
+                let names: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(names, ["x", "y", "label"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_unit_enum_serializes_as_name() {
+        assert_eq!(Kind::Beta.to_json(), Json::Str("Beta".into()));
+    }
+
+    #[test]
+    fn derive_generic_struct_with_bounds() {
+        let p = Point { x: 0.0, y: 0.0, label: String::new() };
+        let w = Wrapper { inner: &p, kinds: vec![Kind::Alpha] };
+        match w.to_json() {
+            Json::Obj(fields) => assert_eq!(fields.len(), 2),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment has no
+//! crates.io access). Supports the shapes the workspace actually uses:
+//!
+//! * structs with named fields, including lifetime/type parameters with
+//!   inline bounds (e.g. `struct Payload<'a, T: Serialize> { .. }`);
+//! * enums whose variants are all unit variants (serialized as their name).
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attributes(tokens, &mut i);
+    skip_visibility(tokens, &mut i);
+
+    let kind = expect_ident(tokens, &mut i)?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("derive(Serialize) shim: expected struct or enum, found `{kind}`"));
+    }
+    let name = expect_ident(tokens, &mut i)?;
+    let (impl_generics, type_generics) = parse_generics(tokens, &mut i);
+
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+    {
+        i += 1;
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().collect::<Vec<_>>(),
+        _ => {
+            return Err(format!(
+                "derive(Serialize) shim: `{name}` has no braced body (tuple/unit items unsupported)"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        let fields = parse_named_fields(&body)?;
+        let pushes: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_json(&self.{f})),"
+                )
+            })
+            .collect();
+        Ok(format!(
+            "impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\
+                 fn to_json(&self) -> ::serde::Json {{\
+                     ::serde::Json::Obj(vec![{pushes}])\
+                 }}\
+             }}"
+        ))
+    } else {
+        let variants = parse_unit_variants(&body, &name)?;
+        let arms: String = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => ::serde::Json::Str(::std::string::String::from({v:?})),"))
+            .collect();
+        Ok(format!(
+            "impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\
+                 fn to_json(&self) -> ::serde::Json {{\
+                     match self {{ {arms} }}\
+                 }}\
+             }}"
+        ))
+    }
+}
+
+/// Skips `#[...]` attribute pairs (including doc comments).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 2;
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("derive(Serialize) shim: expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `<...>` if present. Returns `(impl_generics, type_generics)`:
+/// the verbatim parameter list with bounds for the `impl<...>` position, and
+/// the bound-stripped parameter names for the type position.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new()),
+    }
+    *i += 1; // consume '<'
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                inner.push(tokens[*i].clone());
+            }
+            t => inner.push(t.clone()),
+        }
+        *i += 1;
+    }
+
+    // Use TokenStream's own Display so lifetimes render as `'a`, not `' a`.
+    let verbatim = inner.iter().cloned().collect::<TokenStream>().to_string();
+    // Split params on top-level commas, keep each param's name (strip bounds
+    // and defaults after ':' / '=').
+    let mut names: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<String> = Vec::new();
+    let mut bounded = false;
+    for t in &inner {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                names.push(current.join(""));
+                current.clear();
+                bounded = false;
+                continue;
+            }
+            TokenTree::Punct(p) if (p.as_char() == ':' || p.as_char() == '=') && depth == 0 => {
+                bounded = true;
+            }
+            t if !bounded && depth == 0 => current.push(t.to_string()),
+            _ => {}
+        }
+    }
+    if !current.is_empty() {
+        names.push(current.join(""));
+    }
+    (format!("<{verbatim}>"), format!("<{}>", names.join(", ")))
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes and visibility.
+/// Commas inside angle brackets (e.g. `HashMap<K, V>`) do not split fields.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attributes(body, &mut i);
+        skip_visibility(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = expect_ident(body, &mut i)?;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected `:` after field `{name}`, found {other:?} \
+                     (tuple structs unsupported)"
+                ))
+            }
+        }
+        fields.push(name);
+        // Consume the type: ends at a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses unit variants `A, B, C` (discriminants tolerated, fields rejected).
+fn parse_unit_variants(body: &[TokenTree], enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attributes(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = expect_ident(body, &mut i)?;
+        if let Some(TokenTree::Group(_)) = body.get(i) {
+            return Err(format!(
+                "derive(Serialize) shim: enum `{enum_name}` variant `{name}` carries data; \
+                 only unit variants are supported"
+            ));
+        }
+        variants.push(name);
+        // Skip optional `= discriminant` and the trailing comma.
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
+//! tree as JSON text, plus the [`json!`] macro subset the workspace uses
+//! (`json!({ "key": expr, ... })`, `json!(expr)`, `json!(null)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Re-export of the serde shim's value tree under its `serde_json` name.
+pub use serde::Json as Value;
+
+/// Error type for serialization. The shim's conversion is total, so this is
+/// never produced in practice, but the signatures match call sites expecting
+/// `Result`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(&render_number(*n)),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render_string(k, out);
+                out.push_str(colon);
+                render(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; real serde_json refuses them for floats.
+        // Render null like serde_json's lossy writers do.
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Subset of `serde_json::json!`: object literals with string-literal keys and
+/// expression values, bare `null`, and arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    ( null ) => { $crate::Value::Null };
+    ( { $( $k:literal : $v:expr ),* $(,)? } ) => {
+        $crate::Value::Obj(vec![
+            $( (::std::string::String::from($k), $crate::to_value(&$v)) ),*
+        ])
+    };
+    ( [ $( $v:expr ),* $(,)? ] ) => {
+        $crate::Value::Arr(vec![ $( $crate::to_value(&$v) ),* ])
+    };
+    ( $e:expr ) => { $crate::to_value(&$e) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let b = Value::Arr(vec![Value::Bool(true), Value::Null]);
+        let v = json!({ "a": 1, "b": b, "c": "x\"y" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = json!({ "a": 1 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn numbers_render_integrally_when_integral() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3");
+        assert_eq!(to_string(&3.5f64).unwrap(), "3.5");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let xs: Vec<Value> = (0..3).map(|i| json!({ "i": i })).collect();
+        let v = json!(xs);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"[{"i":0},{"i":1},{"i":2}]"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v = json!({ "a": Vec::<u32>::new() });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": []\n}");
+    }
+}
