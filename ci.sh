@@ -3,22 +3,25 @@
 #
 #   ./ci.sh
 #
-# Every PR must leave all three stages green. The workspace has no network
+# Every PR must leave every stage green. The workspace has no network
 # dependencies (external crates are vendored as shims under shims/), so this
 # runs offline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== 1/4 cargo build --release ==="
+echo "=== 1/5 cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== 2/5 cargo build --release ==="
 cargo build --release
 
-echo "=== 2/4 cargo test -q ==="
+echo "=== 3/5 cargo test -q ==="
 cargo test -q
 
-echo "=== 3/4 cargo clippy --all-targets -- -D warnings ==="
+echo "=== 4/5 cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
-echo "=== 4/4 cargo bench -p amped-bench -- --test (smoke) ==="
+echo "=== 5/5 cargo bench -p amped-bench -- --test (smoke) ==="
 cargo bench -p amped-bench -- --test
 
 echo "CI green."

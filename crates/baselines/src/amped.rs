@@ -20,7 +20,13 @@ impl AmpedSystem {
 
     /// Creates the system with the paper's default configuration at `rank`.
     pub fn with_rank(spec: PlatformSpec, rank: usize) -> Self {
-        Self::new(spec, AmpedConfig { rank, ..AmpedConfig::default() })
+        Self::new(
+            spec,
+            AmpedConfig {
+                rank,
+                ..AmpedConfig::default()
+            },
+        )
     }
 }
 
@@ -42,11 +48,18 @@ impl MttkrpSystem for AmpedSystem {
     }
 
     fn execute(&mut self, tensor: &SparseTensor, factors: &[Mat]) -> Result<SystemRun, SimError> {
-        let cfg = AmpedConfig { rank: factors[0].cols(), ..self.cfg.clone() };
+        let cfg = AmpedConfig {
+            rank: factors[0].cols(),
+            ..self.cfg.clone()
+        };
         let mut engine = AmpedEngine::new(tensor, self.spec.clone(), cfg)?;
         let mut fs = factors.to_vec();
         let report = engine.mttkrp_all_modes(&mut fs)?;
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: engine.gpu_mem_peak() })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: engine.gpu_mem_peak(),
+        })
     }
 }
 
@@ -62,8 +75,11 @@ mod tests {
     fn adapter_matches_reference_chain() {
         let t = GenSpec::uniform(vec![30, 30, 30], 1500, 201).generate();
         let mut rng = SmallRng::seed_from_u64(202);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = AmpedSystem::with_rank(PlatformSpec::rtx6000_ada_node(2).scaled(1e-3), 8);
         let run = sys.execute(&t, &factors).unwrap();
 

@@ -30,7 +30,11 @@ pub struct BlcoSystem {
 impl BlcoSystem {
     /// Creates the system (only GPU 0 of the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec, block_nnz: 1 << 20, isp_nnz: 8192 }
+        Self {
+            spec,
+            block_nnz: 1 << 20,
+            isp_nnz: 8192,
+        }
     }
 }
 
@@ -60,8 +64,11 @@ impl MttkrpSystem for BlcoSystem {
         // --- Memory: tensor stays on the host; the GPU holds the factor
         // matrices and two streaming block buffers. Like the real system,
         // the streamed block size adapts to the memory left after factors.
-        let factor_bytes: u64 =
-            tensor.shape().iter().map(|&d| d as u64 * rank as u64 * 4).sum();
+        let factor_bytes: u64 = tensor
+            .shape()
+            .iter()
+            .map(|&d| d as u64 * rank as u64 * 4)
+            .sum();
         let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
         gmem.alloc(factor_bytes)?;
         let mem_budget = (gmem.available() / (4 * LinTensor::ELEM_BYTES)) as usize;
@@ -71,7 +78,10 @@ impl MttkrpSystem for BlcoSystem {
         let lt = LinTensor::build(tensor, block_nnz);
         let mut host = MemPool::new("host", self.spec.host.mem_bytes);
         host.alloc(lt.bytes())?;
-        let max_block = (0..lt.blocks().len()).map(|b| lt.block_bytes(b)).max().unwrap_or(0);
+        let max_block = (0..lt.blocks().len())
+            .map(|b| lt.block_bytes(b))
+            .max()
+            .unwrap_or(0);
         gmem.alloc(2 * max_block)?;
 
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
@@ -159,7 +169,11 @@ impl MttkrpSystem for BlcoSystem {
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
         }
 
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: gmem.peak() })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: gmem.peak(),
+        })
     }
 }
 
@@ -175,8 +189,11 @@ mod tests {
     fn blco_matches_reference_chain() {
         let t = GenSpec::uniform(vec![40, 30, 20], 2000, 211).generate();
         let mut rng = SmallRng::seed_from_u64(212);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = BlcoSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
         sys.block_nnz = 256;
         sys.isp_nnz = 64;
@@ -203,10 +220,16 @@ mod tests {
         // Tensor larger than the scaled GPU memory still runs (streaming).
         let t = GenSpec::uniform(vec![2000, 2000, 2000], 100_000, 213).generate();
         let spec = PlatformSpec::rtx6000_ada_node(1).scaled(2e-5);
-        assert!(t.bytes() > spec.gpus[0].mem_bytes, "test needs an oversized tensor");
+        assert!(
+            t.bytes() > spec.gpus[0].mem_bytes,
+            "test needs an oversized tensor"
+        );
         let mut rng = SmallRng::seed_from_u64(214);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 4, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 4, &mut rng))
+            .collect();
         let mut sys = BlcoSystem::new(spec);
         sys.block_nnz = 4096;
         let run = sys.execute(&t, &factors).unwrap();

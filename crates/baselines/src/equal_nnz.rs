@@ -29,7 +29,11 @@ pub struct EqualNnzSystem {
 impl EqualNnzSystem {
     /// Creates the system using every GPU of `spec`.
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec, isp_nnz: 8192, stream_nnz: 1 << 20 }
+        Self {
+            spec,
+            isp_nnz: 8192,
+            stream_nnz: 1 << 20,
+        }
     }
 }
 
@@ -68,8 +72,11 @@ impl MttkrpSystem for EqualNnzSystem {
         // to the memory left after factors, as in the AMPED engine).
         let mut host = MemPool::new("host", self.spec.host.mem_bytes);
         host.alloc(tensor.bytes())?;
-        let factor_bytes: u64 =
-            tensor.shape().iter().map(|&d| d as u64 * rank as u64 * 4).sum();
+        let factor_bytes: u64 = tensor
+            .shape()
+            .iter()
+            .map(|&d| d as u64 * rank as u64 * 4)
+            .sum();
         let mut gpu_peak = 0u64;
         let mut stream_nnz = self.stream_nnz;
         for g in 0..m {
@@ -104,9 +111,7 @@ impl MttkrpSystem for EqualNnzSystem {
                 let mut transfers = Vec::with_capacity(pieces.len());
                 let mut computes = Vec::with_capacity(pieces.len());
                 for piece in &pieces {
-                    transfers.push(
-                        link.transfer_time(piece.len() as u64 * tensor.elem_bytes()),
-                    );
+                    transfers.push(link.transfer_time(piece.len() as u64 * tensor.elem_bytes()));
                     let isps = isp_ranges(piece.clone(), self.isp_nnz);
                     let costs: Vec<f64> = isps
                         .iter()
@@ -126,8 +131,7 @@ impl MttkrpSystem for EqualNnzSystem {
                             cost.block_time(gpu, &bs, 1.0, isps.len())
                         })
                         .collect();
-                    computes
-                        .push(list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan);
+                    computes.push(list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan);
 
                     // Real execution with atomics into the shared output
                     // (the host merge is priced below; numerically the merge
@@ -195,7 +199,11 @@ impl MttkrpSystem for EqualNnzSystem {
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
         }
 
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: gpu_peak })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: gpu_peak,
+        })
     }
 }
 
@@ -211,8 +219,11 @@ mod tests {
     fn equal_nnz_matches_reference_chain() {
         let t = GenSpec::uniform(vec![30, 30, 30], 1500, 251).generate();
         let mut rng = SmallRng::seed_from_u64(252);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = EqualNnzSystem::new(PlatformSpec::rtx6000_ada_node(4).scaled(1e-3));
         sys.isp_nnz = 128;
         sys.stream_nnz = 256;

@@ -27,7 +27,10 @@ pub struct FlycooSystem {
 impl FlycooSystem {
     /// Creates the system (only GPU 0 of the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec, isp_nnz: 8192 }
+        Self {
+            spec,
+            isp_nnz: 8192,
+        }
     }
 }
 
@@ -55,8 +58,11 @@ impl MttkrpSystem for FlycooSystem {
         let cost = CostModel::default();
 
         // --- Memory: 2 tensor copies + factors, all resident on one GPU.
-        let factor_bytes: u64 =
-            tensor.shape().iter().map(|&d| d as u64 * rank as u64 * 4).sum();
+        let factor_bytes: u64 = tensor
+            .shape()
+            .iter()
+            .map(|&d| d as u64 * rank as u64 * 4)
+            .sum();
         let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
         gmem.alloc(2 * tensor.bytes())?;
         gmem.alloc(factor_bytes)?;
@@ -142,7 +148,11 @@ impl MttkrpSystem for FlycooSystem {
             report.total_time += mode_wall;
         }
 
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: gmem.peak() })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: gmem.peak(),
+        })
     }
 }
 
@@ -158,8 +168,11 @@ mod tests {
     fn flycoo_matches_reference_chain() {
         let t = GenSpec::uniform(vec![30, 20, 25, 15], 1200, 241).generate();
         let mut rng = SmallRng::seed_from_u64(242);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = FlycooSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
         sys.isp_nnz = 128;
         let run = sys.execute(&t, &factors).unwrap();
@@ -187,7 +200,11 @@ mod tests {
         // One copy fits, two do not — precisely FLYCOO's limitation.
         assert!(t.bytes() < spec.gpus[0].mem_bytes);
         assert!(2 * t.bytes() > spec.gpus[0].mem_bytes);
-        let factors: Vec<Mat> = t.shape().iter().map(|&d| Mat::zeros(d as usize, 4)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::zeros(d as usize, 4))
+            .collect();
         let mut sys = FlycooSystem::new(spec);
         let err = sys.execute(&t, &factors).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");

@@ -30,7 +30,10 @@ pub struct MmCsfSystem {
 impl MmCsfSystem {
     /// Creates the system (only GPU 0 of the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec, isp_nnz: 8192 }
+        Self {
+            spec,
+            isp_nnz: 8192,
+        }
     }
 }
 
@@ -73,8 +76,11 @@ impl MttkrpSystem for MmCsfSystem {
         // --- Memory: GPU-side construction stages the COO input plus a sort
         // scratch array; afterwards the resident footprint is the (largest)
         // CSF representation plus factor matrices.
-        let factor_bytes: u64 =
-            tensor.shape().iter().map(|&d| d as u64 * rank as u64 * 4).sum();
+        let factor_bytes: u64 = tensor
+            .shape()
+            .iter()
+            .map(|&d| d as u64 * rank as u64 * 4)
+            .sum();
         let coo_staging = tensor.bytes();
         let sort_scratch = tensor.nnz() as u64 * 8;
         let csf_resident = csfs.iter().map(|c| c.bytes()).max().unwrap_or(0);
@@ -166,7 +172,11 @@ impl MttkrpSystem for MmCsfSystem {
             report.total_time += makespan;
         }
 
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: gmem.peak() })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: gmem.peak(),
+        })
     }
 }
 
@@ -182,8 +192,11 @@ mod tests {
     fn mmcsf_matches_reference_chain() {
         let t = GenSpec::uniform(vec![25, 35, 30], 1800, 221).generate();
         let mut rng = SmallRng::seed_from_u64(222);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = MmCsfSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
         sys.isp_nnz = 128;
         let run = sys.execute(&t, &factors).unwrap();
@@ -207,7 +220,11 @@ mod tests {
     #[test]
     fn mmcsf_rejects_five_modes() {
         let t = GenSpec::uniform(vec![8, 8, 8, 8, 8], 200, 223).generate();
-        let factors: Vec<Mat> = t.shape().iter().map(|&d| Mat::zeros(d as usize, 4)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::zeros(d as usize, 4))
+            .collect();
         let mut sys = MmCsfSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
         let err = sys.execute(&t, &factors).unwrap_err();
         assert!(matches!(err, SimError::Unsupported(_)));
@@ -218,7 +235,11 @@ mod tests {
         let t = GenSpec::uniform(vec![500, 500, 500], 100_000, 224).generate();
         let spec = PlatformSpec::rtx6000_ada_node(1).scaled(2e-5);
         assert!(t.bytes() > spec.gpus[0].mem_bytes);
-        let factors: Vec<Mat> = t.shape().iter().map(|&d| Mat::zeros(d as usize, 4)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::zeros(d as usize, 4))
+            .collect();
         let mut sys = MmCsfSystem::new(spec);
         let err = sys.execute(&t, &factors).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");

@@ -38,7 +38,11 @@ pub struct PartiSystem {
 impl PartiSystem {
     /// Creates the system (only GPU 0 of the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec, isp_nnz: 8192, min_avg_per_block: 8.0 }
+        Self {
+            spec,
+            isp_nnz: 8192,
+            min_avg_per_block: 8.0,
+        }
     }
 }
 
@@ -77,8 +81,11 @@ impl MttkrpSystem for PartiSystem {
         let preprocess_wall = pre_start.elapsed().as_secs_f64();
 
         // --- Memory: HiCOO resident + factors + segmented-scan workspace.
-        let factor_bytes: u64 =
-            tensor.shape().iter().map(|&d| d as u64 * rank as u64 * 4).sum();
+        let factor_bytes: u64 = tensor
+            .shape()
+            .iter()
+            .map(|&d| d as u64 * rank as u64 * 4)
+            .sum();
         let workspace = tensor.nnz() as u64 * 4;
         let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
         gmem.alloc(h.bytes())?;
@@ -117,9 +124,8 @@ impl MttkrpSystem for PartiSystem {
                     let st = stats_from_coords(
                         d,
                         order,
-                        u.clone().flat_map(|b| {
-                            h.block_iter(b).map(|(c, _)| c).collect::<Vec<_>>()
-                        }),
+                        u.clone()
+                            .flat_map(|b| h.block_iter(b).map(|(c, _)| c).collect::<Vec<_>>()),
                         cache_rows,
                     );
                     let bs = BlockStats {
@@ -174,7 +180,11 @@ impl MttkrpSystem for PartiSystem {
             report.total_time += makespan;
         }
 
-        Ok(SystemRun { report, factors: fs, gpu_mem_peak: gmem.peak() })
+        Ok(SystemRun {
+            report,
+            factors: fs,
+            gpu_mem_peak: gmem.peak(),
+        })
     }
 }
 
@@ -190,8 +200,11 @@ mod tests {
     fn parti_matches_reference_chain() {
         let t = GenSpec::uniform(vec![40, 25, 30], 1500, 231).generate();
         let mut rng = SmallRng::seed_from_u64(232);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, 8, &mut rng))
+            .collect();
         let mut sys = PartiSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
         sys.isp_nnz = 128;
         let run = sys.execute(&t, &factors).unwrap();
@@ -213,8 +226,11 @@ mod tests {
     fn parti_rejects_non_three_mode() {
         for shape in [vec![8u32, 8], vec![8, 8, 8, 8]] {
             let t = GenSpec::uniform(shape, 100, 233).generate();
-            let factors: Vec<Mat> =
-                t.shape().iter().map(|&d| Mat::zeros(d as usize, 4)).collect();
+            let factors: Vec<Mat> = t
+                .shape()
+                .iter()
+                .map(|&d| Mat::zeros(d as usize, 4))
+                .collect();
             let mut sys = PartiSystem::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
             assert!(matches!(
                 sys.execute(&t, &factors),
@@ -227,7 +243,11 @@ mod tests {
     fn parti_ooms_when_resident_footprint_exceeds_gpu() {
         let t = GenSpec::uniform(vec![3000, 3000, 3000], 80_000, 234).generate();
         let spec = PlatformSpec::rtx6000_ada_node(1).scaled(1e-5);
-        let factors: Vec<Mat> = t.shape().iter().map(|&d| Mat::zeros(d as usize, 4)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::zeros(d as usize, 4))
+            .collect();
         let mut sys = PartiSystem::new(spec);
         let err = sys.execute(&t, &factors).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");

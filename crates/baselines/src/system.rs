@@ -158,7 +158,13 @@ pub fn stats_from_coords(
         }
     }
     let dram_factor_reads = amped_sim::costmodel::dram_factor_reads(row_counts, cache_rows);
-    ChunkStats { nnz, distinct_out, max_out_run, distinct_in, dram_factor_reads }
+    ChunkStats {
+        nnz,
+        distinct_out,
+        max_out_run,
+        distinct_in,
+        dram_factor_reads,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +173,12 @@ mod tests {
 
     #[test]
     fn stats_from_coords_basics() {
-        let elems = vec![vec![1u32, 0, 0], vec![1, 1, 2], vec![1, 1, 3], vec![2, 3, 3]];
+        let elems = vec![
+            vec![1u32, 0, 0],
+            vec![1, 1, 2],
+            vec![1, 1, 3],
+            vec![2, 3, 3],
+        ];
         let st = stats_from_coords(0, 3, elems.into_iter(), usize::MAX);
         assert_eq!(st.nnz, 4);
         assert_eq!(st.distinct_out, 2);

@@ -10,8 +10,7 @@ fn bench_allgather(c: &mut Criterion) {
     for &m in &[2usize, 4, 8] {
         let rows = 4096;
         let rank = 32;
-        let blocks: Vec<Vec<f32>> =
-            (0..m).map(|g| vec![g as f32; rows * rank / m]).collect();
+        let blocks: Vec<Vec<f32>> = (0..m).map(|g| vec![g as f32; rows * rank / m]).collect();
         group.throughput(Throughput::Bytes((rows * rank * 4) as u64));
         group.bench_with_input(BenchmarkId::new("functional", m), &m, |b, _| {
             b.iter(|| ring_allgather(&blocks));
@@ -19,7 +18,10 @@ fn bench_allgather(c: &mut Criterion) {
     }
     // The timing model itself (pure arithmetic — verifies it is cheap enough
     // to call per mode per run).
-    let link = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+    let link = LinkSpec {
+        gbps: 50.0,
+        latency_s: 1e-5,
+    };
     let bytes = vec![1_000_000u64; 4];
     group.bench_function("timing_model", |b| {
         b.iter(|| ring_allgather_time(&link, &bytes));

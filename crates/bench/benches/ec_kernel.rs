@@ -18,8 +18,11 @@ fn bench_ec(c: &mut Criterion) {
     group.throughput(Throughput::Elements(t.nnz() as u64));
     for &rank in &[8usize, 16, 32, 64] {
         let mut rng = SmallRng::seed_from_u64(2);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::new("sequential", rank), &rank, |b, _| {
             b.iter(|| mttkrp_ref(&t, &factors, 0));
         });

@@ -18,8 +18,11 @@ fn bench_formats(c: &mut Criterion) {
     .generate();
     let rank = 32;
     let mut rng = SmallRng::seed_from_u64(5);
-    let factors: Vec<Mat> =
-        t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect();
 
     let mut group = c.benchmark_group("formats");
     group.sample_size(10);

@@ -25,7 +25,9 @@ fn bench_partition(c: &mut Criterion) {
         });
     }
     // CCP alone on a large histogram.
-    let weights: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2_654_435_761) % 1000).collect();
+    let weights: Vec<u64> = (0..1_000_000u64)
+        .map(|i| (i * 2_654_435_761) % 1000)
+        .collect();
     group.bench_function("ccp_1M_indices", |b| {
         b.iter(|| chains_on_chains(&weights, 4));
     });

@@ -47,7 +47,9 @@ fn throughput_cell(elems: Option<u64>, secs: f64) -> String {
 }
 
 fn main() {
-    let label = std::env::args().nth(1).unwrap_or_else(|| "snapshot".to_string());
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "snapshot".to_string());
     const REPS: usize = 5;
     let mut table = Table::new(&["benchmark", "median", "throughput"]);
     let mut push = |name: &str, secs: f64, elems: Option<u64>| {
@@ -64,8 +66,11 @@ fn main() {
         let t = GenSpec::uniform(vec![10_000, 5_000, 5_000], 200_000, 1).generate();
         let rank = 32;
         let mut rng = SmallRng::seed_from_u64(2);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
         let nnz = t.nnz() as u64;
         push(
             "ec_kernel/sequential/r32",
@@ -107,7 +112,9 @@ fn main() {
             }),
             Some(nnz),
         );
-        let weights: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2_654_435_761) % 1000).collect();
+        let weights: Vec<u64> = (0..1_000_000u64)
+            .map(|i| (i * 2_654_435_761) % 1000)
+            .collect();
         push(
             "partition/ccp_1M_indices",
             median_secs(REPS, || {
@@ -128,8 +135,11 @@ fn main() {
         .generate();
         let rank = 32;
         let mut rng = SmallRng::seed_from_u64(5);
-        let factors: Vec<Mat> =
-            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
         let nnz = t.nnz() as u64;
         push(
             "formats/build_blco",
@@ -221,7 +231,10 @@ fn main() {
             }),
             None,
         );
-        let link = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+        let link = LinkSpec {
+            gbps: 50.0,
+            latency_s: 1e-5,
+        };
         let bytes = vec![1_000_000u64; 4];
         push(
             "allgather/timing_model",

@@ -6,9 +6,9 @@
 //! cargo run -p amped-bench --release --bin figures -- fig5 --scale 1e-3 --gpus 4
 //! ```
 
+use amped_baselines::MttkrpSystem;
 use amped_bench::reportio::{emit, Table};
 use amped_bench::{run_system, ExpContext, Outcome};
-use amped_baselines::MttkrpSystem;
 use amped_core::{AmpedConfig, GatherAlgo, SchedulePolicy};
 use amped_formats::LinTensor;
 use amped_sim::metrics::geomean;
@@ -25,7 +25,10 @@ fn main() {
             "--gpus" => ctx.gpus = expect_num::<f64>(&mut it, "--gpus") as usize,
             "--rank" => ctx.rank = expect_num::<f64>(&mut it, "--rank") as usize,
             "--out" => {
-                ctx.out_dir = it.next().unwrap_or_else(|| usage("--out needs a path")).into()
+                ctx.out_dir = it
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a path"))
+                    .into()
             }
             "--help" | "-h" => usage("usage"),
             other => cmds.push(other.to_string()),
@@ -35,8 +38,17 @@ fn main() {
         usage("no command given");
     }
     let all = [
-        "table1", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "abl-sched",
-        "abl-gather", "abl-block",
+        "table1",
+        "table3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "abl-sched",
+        "abl-gather",
+        "abl-block",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -107,12 +119,24 @@ fn table1(ctx: &mut ExpContext) {
             tick(c.task_independent),
         ]);
     }
-    emit(&ctx.out_dir, "table1", "Table 1 — system characteristics", &t, ());
+    emit(
+        &ctx.out_dir,
+        "table1",
+        "Table 1 — system characteristics",
+        &t,
+        (),
+    );
 }
 
 /// Table 3: scaled dataset characteristics.
 fn table3(ctx: &mut ExpContext) {
-    let mut t = Table::new(&["Tensor", "Shape (scaled)", "nnz (scaled)", "COO bytes", "Paper nnz"]);
+    let mut t = Table::new(&[
+        "Tensor",
+        "Shape (scaled)",
+        "nnz (scaled)",
+        "COO bytes",
+        "Paper nnz",
+    ]);
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
         let ch = datasets::characteristics(d, &tensor);
@@ -130,13 +154,26 @@ fn table3(ctx: &mut ExpContext) {
             format_count(d.paper_nnz()),
         ]);
     }
-    emit(&ctx.out_dir, "table3", "Table 3 — dataset characteristics (scaled)", &t, ());
+    emit(
+        &ctx.out_dir,
+        "table3",
+        "Table 3 — dataset characteristics (scaled)",
+        &t,
+        (),
+    );
 }
 
 /// Fig. 5: total execution time vs all baselines (paper: 5.1× geomean over
 /// baselines; FLYCOO wins on Twitch; OOM pattern per system).
 fn fig5(ctx: &mut ExpContext) {
-    let mut t = Table::new(&["Tensor", "AMPED(4 GPU)", "BLCO", "MM-CSF", "ParTI-GPU", "FLYCOO-GPU"]);
+    let mut t = Table::new(&[
+        "Tensor",
+        "AMPED(4 GPU)",
+        "BLCO",
+        "MM-CSF",
+        "ParTI-GPU",
+        "FLYCOO-GPU",
+    ]);
     let mut speedups: Vec<f64> = Vec::new();
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
@@ -204,7 +241,10 @@ fn fig7(ctx: &mut ExpContext) {
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
         let factors = ctx.factors(&tensor, 0xF17_0000 + d.seed());
-        let run = ctx.amped().execute(&tensor, &factors).expect("AMPED runs everywhere");
+        let run = ctx
+            .amped()
+            .execute(&tensor, &factors)
+            .expect("AMPED runs everywhere");
         let (c, h, p) = run.report.fig7_fractions();
         t.push(vec![
             d.name().into(),
@@ -233,7 +273,10 @@ fn fig8(ctx: &mut ExpContext) {
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
         let factors = ctx.factors(&tensor, 0xF18_0000 + d.seed());
-        let run = ctx.amped().execute(&tensor, &factors).expect("AMPED runs everywhere");
+        let run = ctx
+            .amped()
+            .execute(&tensor, &factors)
+            .expect("AMPED runs everywhere");
         let times: Vec<String> = run
             .report
             .per_gpu
@@ -242,7 +285,11 @@ fn fig8(ctx: &mut ExpContext) {
             .collect();
         let ov = run.report.compute_overhead_fraction();
         overheads.push((d.name(), ov));
-        t.push(vec![d.name().into(), times.join(", "), format!("{:.2}%", ov * 100.0)]);
+        t.push(vec![
+            d.name().into(),
+            times.join(", "),
+            format!("{:.2}%", ov * 100.0),
+        ]);
     }
     emit(
         &ctx.out_dir,
@@ -263,7 +310,10 @@ fn fig9(ctx: &mut ExpContext) {
     for m in 1..=max_gpus {
         header.push(format!("{m} GPU"));
     }
-    let mut t = Table { header, rows: Vec::new() };
+    let mut t = Table {
+        header,
+        rows: Vec::new(),
+    };
     let mut per_m: Vec<Vec<f64>> = vec![Vec::new(); max_gpus + 1];
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
@@ -273,7 +323,10 @@ fn fig9(ctx: &mut ExpContext) {
         for (m, per) in per_m.iter_mut().enumerate().skip(1) {
             let mut sys = amped_baselines::AmpedSystem::new(
                 ctx.platform(m),
-                AmpedConfig { rank: ctx.rank, ..AmpedConfig::default() },
+                AmpedConfig {
+                    rank: ctx.rank,
+                    ..AmpedConfig::default()
+                },
             );
             let out = run_system(&mut sys, &tensor, &factors);
             let time = out.time().expect("AMPED runs at every GPU count");
@@ -314,7 +367,12 @@ fn fig9(ctx: &mut ExpContext) {
 /// Fig. 10: preprocessing time, AMPED partitioning vs BLCO linearization
 /// (real wall-clock of both preprocessors on this host).
 fn fig10(ctx: &mut ExpContext) {
-    let mut t = Table::new(&["Tensor", "AMPED preprocessing", "BLCO preprocessing", "Ratio"]);
+    let mut t = Table::new(&[
+        "Tensor",
+        "AMPED preprocessing",
+        "BLCO preprocessing",
+        "Ratio",
+    ]);
     for d in datasets::ALL {
         let tensor = ctx.dataset(d).clone();
         let factors = ctx.factors(&tensor, 0xF1A_0000 + d.seed());
@@ -346,9 +404,17 @@ fn abl_sched(ctx: &mut ExpContext) {
         let factors = ctx.factors(&tensor, 0xAB1_0000 + d.seed());
         let mut times = Vec::new();
         for policy in [SchedulePolicy::StaticCcp, SchedulePolicy::DynamicQueue] {
-            let cfg = AmpedConfig { rank: ctx.rank, schedule: policy, ..AmpedConfig::default() };
+            let cfg = AmpedConfig {
+                rank: ctx.rank,
+                schedule: policy,
+                ..AmpedConfig::default()
+            };
             let mut sys = amped_baselines::AmpedSystem::new(ctx.platform(ctx.gpus), cfg);
-            times.push(run_system(&mut sys, &tensor, &factors).time().expect("runs"));
+            times.push(
+                run_system(&mut sys, &tensor, &factors)
+                    .time()
+                    .expect("runs"),
+            );
         }
         t.push(vec![
             d.name().into(),
@@ -357,7 +423,13 @@ fn abl_sched(ctx: &mut ExpContext) {
             format!("{:.2}×", times[0] / times[1]),
         ]);
     }
-    emit(&ctx.out_dir, "abl-sched", "Ablation — shard scheduling policy", &t, ());
+    emit(
+        &ctx.out_dir,
+        "abl-sched",
+        "Ablation — shard scheduling policy",
+        &t,
+        (),
+    );
 }
 
 /// Ablation: ring vs host-staged all-gather.
@@ -368,9 +440,17 @@ fn abl_gather(ctx: &mut ExpContext) {
         let factors = ctx.factors(&tensor, 0xAB2_0000 + d.seed());
         let mut times = Vec::new();
         for gather in [GatherAlgo::Ring, GatherAlgo::HostStaged] {
-            let cfg = AmpedConfig { rank: ctx.rank, gather, ..AmpedConfig::default() };
+            let cfg = AmpedConfig {
+                rank: ctx.rank,
+                gather,
+                ..AmpedConfig::default()
+            };
             let mut sys = amped_baselines::AmpedSystem::new(ctx.platform(ctx.gpus), cfg);
-            times.push(run_system(&mut sys, &tensor, &factors).time().expect("runs"));
+            times.push(
+                run_system(&mut sys, &tensor, &factors)
+                    .time()
+                    .expect("runs"),
+            );
         }
         t.push(vec![
             d.name().into(),
@@ -379,7 +459,13 @@ fn abl_gather(ctx: &mut ExpContext) {
             format!("{:.2}×", times[1] / times[0]),
         ]);
     }
-    emit(&ctx.out_dir, "abl-gather", "Ablation — all-gather algorithm", &t, ());
+    emit(
+        &ctx.out_dir,
+        "abl-gather",
+        "Ablation — all-gather algorithm",
+        &t,
+        (),
+    );
 }
 
 /// Ablation: threadblock work granularity (the θ/P knob of §5.1.5 mapped to
@@ -392,9 +478,17 @@ fn abl_block(ctx: &mut ExpContext) {
     let sizes = [1024usize, 2048, 4096, 8192, 16384, 32768, 65536];
     let mut times = Vec::new();
     for &isp in &sizes {
-        let cfg = AmpedConfig { rank: ctx.rank, isp_nnz: isp, ..AmpedConfig::default() };
+        let cfg = AmpedConfig {
+            rank: ctx.rank,
+            isp_nnz: isp,
+            ..AmpedConfig::default()
+        };
         let mut sys = amped_baselines::AmpedSystem::new(ctx.platform(ctx.gpus), cfg);
-        times.push(run_system(&mut sys, &tensor, &factors).time().expect("runs"));
+        times.push(
+            run_system(&mut sys, &tensor, &factors)
+                .time()
+                .expect("runs"),
+        );
     }
     let best = times.iter().cloned().fold(f64::MAX, f64::min);
     for (i, &isp) in sizes.iter().enumerate() {

@@ -63,14 +63,20 @@ impl ExpContext {
     /// Deterministic random factor matrices for `t` at the context rank.
     pub fn factors(&self, t: &SparseTensor, seed: u64) -> Vec<Mat> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        t.shape().iter().map(|&d| Mat::random(d as usize, self.rank, &mut rng)).collect()
+        t.shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, self.rank, &mut rng))
+            .collect()
     }
 
     /// The AMPED system at the paper's default configuration.
     pub fn amped(&self) -> AmpedSystem {
         AmpedSystem::new(
             self.platform(self.gpus),
-            AmpedConfig { rank: self.rank, ..AmpedConfig::default() },
+            AmpedConfig {
+                rank: self.rank,
+                ..AmpedConfig::default()
+            },
         )
     }
 
@@ -137,7 +143,10 @@ mod tests {
 
     #[test]
     fn context_caches_datasets() {
-        let mut ctx = ExpContext { scale: 1e-5, ..Default::default() };
+        let mut ctx = ExpContext {
+            scale: 1e-5,
+            ..Default::default()
+        };
         let a = ctx.dataset(Dataset::Twitch).nnz();
         let b = ctx.dataset(Dataset::Twitch).nnz();
         assert_eq!(a, b);

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -49,7 +52,14 @@ impl Table {
             }
         };
         let mut s = String::new();
-        s.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        s.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         s.push('\n');
         for r in &self.rows {
             s.push_str(&r.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
@@ -78,10 +88,13 @@ pub fn emit(out_dir: &Path, name: &str, title: &str, table: &Table, extra_json: 
         extra: T,
     }
     let json_path = out_dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(&Payload { table, extra: extra_json }) {
+    match serde_json::to_string_pretty(&Payload {
+        table,
+        extra: extra_json,
+    }) {
         Ok(json) => {
-            if let Err(e) = std::fs::File::create(&json_path)
-                .and_then(|mut f| f.write_all(json.as_bytes()))
+            if let Err(e) =
+                std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes()))
             {
                 eprintln!("warning: cannot write {}: {e}", json_path.display());
             }

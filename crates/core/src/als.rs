@@ -28,7 +28,11 @@ pub struct AlsOptions {
 
 impl Default for AlsOptions {
     fn default() -> Self {
-        Self { max_iters: 25, tol: 1e-5, seed: 0 }
+        Self {
+            max_iters: 25,
+            tol: 1e-5,
+            seed: 0,
+        }
     }
 }
 
@@ -58,8 +62,10 @@ pub fn cp_als(engine: &mut AmpedEngine, opts: &AlsOptions) -> Result<AlsResult, 
     let norm_x = norm_x_sq.sqrt();
 
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let mut factors: Vec<Mat> =
-        shape.iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+    let mut factors: Vec<Mat> = shape
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect();
     let mut lambda = vec![1.0f32; rank];
     let mut grams: Vec<Mat> = factors.iter().map(|f| f.gram()).collect();
 
@@ -120,7 +126,13 @@ pub fn cp_als(engine: &mut AmpedEngine, opts: &AlsOptions) -> Result<AlsResult, 
         }
     }
 
-    Ok(AlsResult { factors, lambda, fits, iterations, report })
+    Ok(AlsResult {
+        factors,
+        lambda,
+        fits,
+        iterations,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +156,15 @@ mod tests {
     fn als_recovers_noiseless_low_rank_tensor() {
         let (t, _) = low_rank_dense(&[18, 15, 12], 4, 0.0, 101);
         let mut e = engine(&t, 4);
-        let res = cp_als(&mut e, &AlsOptions { max_iters: 60, tol: 1e-9, seed: 5 }).unwrap();
+        let res = cp_als(
+            &mut e,
+            &AlsOptions {
+                max_iters: 60,
+                tol: 1e-9,
+                seed: 5,
+            },
+        )
+        .unwrap();
         let final_fit = *res.fits.last().unwrap();
         assert!(
             final_fit > 0.98,
@@ -157,7 +177,15 @@ mod tests {
     fn fit_is_monotone_nondecreasing_modulo_noise() {
         let (t, _) = low_rank(&[20, 20, 20], 3, 2000, 0.05, 102);
         let mut e = engine(&t, 3);
-        let res = cp_als(&mut e, &AlsOptions { max_iters: 15, tol: 0.0, seed: 6 }).unwrap();
+        let res = cp_als(
+            &mut e,
+            &AlsOptions {
+                max_iters: 15,
+                tol: 0.0,
+                seed: 6,
+            },
+        )
+        .unwrap();
         for w in res.fits.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-4,
@@ -173,7 +201,15 @@ mod tests {
     fn als_report_accumulates_time() {
         let (t, _) = low_rank(&[15, 15, 15], 2, 800, 0.0, 103);
         let mut e = engine(&t, 2);
-        let res = cp_als(&mut e, &AlsOptions { max_iters: 3, tol: 0.0, seed: 7 }).unwrap();
+        let res = cp_als(
+            &mut e,
+            &AlsOptions {
+                max_iters: 3,
+                tol: 0.0,
+                seed: 7,
+            },
+        )
+        .unwrap();
         assert_eq!(res.iterations, 3);
         assert_eq!(res.report.per_mode.len(), 9); // 3 iters × 3 modes
         assert!(res.report.total_time > 0.0);
@@ -185,7 +221,19 @@ mod tests {
     fn tolerance_stops_early() {
         let (t, _) = low_rank(&[15, 15, 15], 2, 800, 0.0, 104);
         let mut e = engine(&t, 2);
-        let res = cp_als(&mut e, &AlsOptions { max_iters: 50, tol: 1e-3, seed: 8 }).unwrap();
-        assert!(res.iterations < 50, "should converge early, ran {}", res.iterations);
+        let res = cp_als(
+            &mut e,
+            &AlsOptions {
+                max_iters: 50,
+                tol: 1e-3,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        assert!(
+            res.iterations < 50,
+            "should converge early, ran {}",
+            res.iterations
+        );
     }
 }

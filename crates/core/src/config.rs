@@ -91,9 +91,24 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        assert!(AmpedConfig { rank: 0, ..Default::default() }.validate().is_err());
-        assert!(AmpedConfig { block_p: 0, ..Default::default() }.validate().is_err());
-        assert!(AmpedConfig { isp_nnz: 0, ..Default::default() }.validate().is_err());
+        assert!(AmpedConfig {
+            rank: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AmpedConfig {
+            block_p: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AmpedConfig {
+            isp_nnz: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(AmpedConfig {
             shard_nnz_budget: 10,
             isp_nnz: 100,

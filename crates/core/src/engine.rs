@@ -120,7 +120,9 @@ impl AmpedEngine {
             gpu_mem,
             host_mem,
         };
-        engine.mode_shards = (0..tensor.order()).map(|d| engine.prepare_mode(d)).collect();
+        engine.mode_shards = (0..tensor.order())
+            .map(|d| engine.prepare_mode(d))
+            .collect();
         Ok(engine)
     }
 
@@ -152,11 +154,13 @@ impl AmpedEngine {
                             rank: self.cfg.rank,
                             elem_bytes,
                         };
-                        IspUnit { range: r, cost: self.cost.block_time(gpu, &bs, 1.0, concurrency) }
+                        IspUnit {
+                            range: r,
+                            cost: self.cost.block_time(gpu, &bs, 1.0, concurrency),
+                        }
                     })
                     .collect();
-                let compute =
-                    list_schedule_makespan(gpu.sms, isps.iter().map(|i| i.cost)).makespan;
+                let compute = list_schedule_makespan(gpu.sms, isps.iter().map(|i| i.cost)).makespan;
                 ShardUnit {
                     gpu: s.gpu,
                     isps,
@@ -345,7 +349,11 @@ impl AmpedEngine {
         // exactly the right data (checked against the direct snapshot).
         let result = self.gather_rows(d, &assignment, &out, rank, rows_out);
 
-        let timing = ModeTiming { mode: d, wall: barrier + gather_time, per_gpu };
+        let timing = ModeTiming {
+            mode: d,
+            wall: barrier + gather_time,
+            per_gpu,
+        };
         Ok((result, timing))
     }
 
@@ -382,7 +390,8 @@ impl AmpedEngine {
         let mut full = Mat::zeros(rows_out, rank);
         for (ids, data) in &gathered[0] {
             for (k, &i) in ids.iter().enumerate() {
-                full.row_mut(i as usize).copy_from_slice(&data[k * rank..(k + 1) * rank]);
+                full.row_mut(i as usize)
+                    .copy_from_slice(&data[k * rank..(k + 1) * rank]);
             }
         }
         debug_assert!(
@@ -436,11 +445,19 @@ mod tests {
 
     fn factors(t: &SparseTensor, r: usize, seed: u64) -> Vec<Mat> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        t.shape().iter().map(|&d| Mat::random(d as usize, r, &mut rng)).collect()
+        t.shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, r, &mut rng))
+            .collect()
     }
 
     fn cfg(r: usize) -> AmpedConfig {
-        AmpedConfig { rank: r, isp_nnz: 256, shard_nnz_budget: 1024, ..Default::default() }
+        AmpedConfig {
+            rank: r,
+            isp_nnz: 256,
+            shard_nnz_budget: 1024,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -483,7 +500,10 @@ mod tests {
     fn dynamic_queue_matches_reference() {
         let t = GenSpec::uniform(vec![64, 32, 32], 3000, 85).generate();
         let fs = factors(&t, 8, 86);
-        let c = AmpedConfig { schedule: SchedulePolicy::DynamicQueue, ..cfg(8) };
+        let c = AmpedConfig {
+            schedule: SchedulePolicy::DynamicQueue,
+            ..cfg(8)
+        };
         let mut e = AmpedEngine::new(&t, platform(4), c).unwrap();
         let (out, _) = e.mttkrp_mode(0, &fs).unwrap();
         let want = mttkrp_ref(&t, &fs, 0);
@@ -494,7 +514,10 @@ mod tests {
     fn host_staged_gather_matches_reference() {
         let t = GenSpec::uniform(vec![64, 32, 32], 2000, 87).generate();
         let fs = factors(&t, 8, 88);
-        let c = AmpedConfig { gather: GatherAlgo::HostStaged, ..cfg(8) };
+        let c = AmpedConfig {
+            gather: GatherAlgo::HostStaged,
+            ..cfg(8)
+        };
         let mut e = AmpedEngine::new(&t, platform(2), c).unwrap();
         let (out, timing) = e.mttkrp_mode(0, &fs).unwrap();
         assert!(out.approx_eq(&mttkrp_ref(&t, &fs, 0), 1e-3, 1e-4));
@@ -533,7 +556,11 @@ mod tests {
     fn more_gpus_reduce_wall_time() {
         let t = GenSpec::uniform(vec![4000, 300, 300], 200_000, 93).generate();
         let fs = factors(&t, 32, 94);
-        let c = AmpedConfig { isp_nnz: 2048, shard_nnz_budget: 16384, ..AmpedConfig::default() };
+        let c = AmpedConfig {
+            isp_nnz: 2048,
+            shard_nnz_budget: 16384,
+            ..AmpedConfig::default()
+        };
         let mut w = Vec::new();
         for m in [1usize, 2, 4] {
             let mut e = AmpedEngine::new(&t, platform(m), c.clone()).unwrap();

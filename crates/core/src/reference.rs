@@ -84,7 +84,11 @@ mod tests {
     fn setup(shape: Vec<u32>, nnz: usize, r: usize) -> (SparseTensor, Vec<Mat>) {
         let t = GenSpec::uniform(shape, nnz, 71).generate();
         let mut rng = SmallRng::seed_from_u64(72);
-        let fs = t.shape().iter().map(|&d| Mat::random(d as usize, r, &mut rng)).collect();
+        let fs = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, r, &mut rng))
+            .collect();
         (t, fs)
     }
 

@@ -60,9 +60,8 @@ impl CsfTensor {
             let mut starts = Vec::new(); // element index where each fiber starts
             for e in 0..nnz {
                 let new_fiber = e == 0
-                    || (0..=l).any(|k| {
-                        sorted.idx(e, mode_order[k]) != sorted.idx(e - 1, mode_order[k])
-                    });
+                    || (0..=l)
+                        .any(|k| sorted.idx(e, mode_order[k]) != sorted.idx(e - 1, mode_order[k]));
                 if new_fiber {
                     fids.push(sorted.idx(e, mode_order[l]));
                     starts.push(e);
@@ -143,12 +142,7 @@ impl CsfTensor {
     /// Functional MTTKRP with the root mode as output, over the root-fiber
     /// range `roots` (callers parallelize by splitting root ranges — no
     /// atomics needed because each root fiber owns its output row).
-    pub fn mttkrp_root_range(
-        &self,
-        roots: std::ops::Range<usize>,
-        factors: &[Mat],
-        out: &mut Mat,
-    ) {
+    pub fn mttkrp_root_range(&self, roots: std::ops::Range<usize>, factors: &[Mat], out: &mut Mat) {
         let r = out.cols();
         let n = self.order();
         let mut scratch = vec![vec![0.0f32; r]; n]; // per-level accumulators
@@ -259,7 +253,10 @@ mod tests {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(seed);
-        t.shape().iter().map(|&d| Mat::random(d as usize, r, &mut rng)).collect()
+        t.shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, r, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -290,7 +287,11 @@ mod tests {
                 let mut out = Mat::zeros(t.dim(d) as usize, 4);
                 csf.mttkrp_root(&fs, &mut out);
                 let want = coo_mttkrp(&t, d, &fs);
-                assert!(out.approx_eq(&want, 1e-4, 1e-5), "order {} mode {d}", t.order());
+                assert!(
+                    out.approx_eq(&want, 1e-4, 1e-5),
+                    "order {} mode {d}",
+                    t.order()
+                );
             }
         }
     }

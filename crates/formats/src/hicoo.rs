@@ -179,7 +179,10 @@ mod tests {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(seed);
-        t.shape().iter().map(|&d| Mat::random(d as usize, r, &mut rng)).collect()
+        t.shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, r, &mut rng))
+            .collect()
     }
 
     fn coo_mttkrp(t: &SparseTensor, mode: usize, factors: &[Mat]) -> Mat {

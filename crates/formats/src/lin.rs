@@ -59,7 +59,10 @@ impl LinTensor {
         let start = std::time::Instant::now();
         let bits: Vec<u32> = t.shape().iter().map(|&d| bits_for(d)).collect();
         let total_bits: u32 = bits.iter().sum();
-        assert!(total_bits <= 128, "linear index needs {total_bits} bits > 128");
+        assert!(
+            total_bits <= 128,
+            "linear index needs {total_bits} bits > 128"
+        );
         // Mode 0 occupies the most significant field.
         let mut shifts = vec![0u32; bits.len()];
         let mut acc = 0u32;
@@ -89,7 +92,10 @@ impl LinTensor {
                 None => true,
             };
             if split {
-                blocks.push(LinBlock { high, elems: i..i + 1 });
+                blocks.push(LinBlock {
+                    high,
+                    elems: i..i + 1,
+                });
             } else {
                 blocks.last_mut().unwrap().elems.end = i + 1;
             }
@@ -160,7 +166,9 @@ impl LinTensor {
         self.shape
             .iter()
             .enumerate()
-            .map(|(m, _)| ((key >> self.shifts[m]) as u64 & ((1u64 << self.bits[m]) - 1).max(1)) as Idx)
+            .map(|(m, _)| {
+                ((key >> self.shifts[m]) as u64 & ((1u64 << self.bits[m]) - 1).max(1)) as Idx
+            })
             .collect()
     }
 
@@ -222,10 +230,10 @@ mod tests {
         let lt = LinTensor::build(&t, 128);
         assert_eq!(lt.nnz(), t.nnz());
         // The linearized order is sorted; rebuild the coordinate multiset.
-        let mut orig: Vec<(Vec<Idx>, Val)> =
-            t.iter().map(|e| (e.coords.to_vec(), e.val)).collect();
-        let mut back: Vec<(Vec<Idx>, Val)> =
-            (0..lt.nnz()).map(|e| (lt.decode(e), lt.values[e])).collect();
+        let mut orig: Vec<(Vec<Idx>, Val)> = t.iter().map(|e| (e.coords.to_vec(), e.val)).collect();
+        let mut back: Vec<(Vec<Idx>, Val)> = (0..lt.nnz())
+            .map(|e| (lt.decode(e), lt.values[e]))
+            .collect();
         orig.sort_by(|a, b| a.0.cmp(&b.0));
         back.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(orig, back);

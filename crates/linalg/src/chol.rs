@@ -20,14 +20,17 @@ pub struct CholFactor {
 pub fn cholesky(v: &Mat, ridge: f64) -> Option<CholFactor> {
     assert_eq!(v.rows(), v.cols(), "cholesky requires a square matrix");
     let n = v.rows();
-    let mean_diag: f64 =
-        (0..n).map(|i| v.get(i, i) as f64).sum::<f64>() / n.max(1) as f64;
+    let mean_diag: f64 = (0..n).map(|i| v.get(i, i) as f64).sum::<f64>() / n.max(1) as f64;
     let mut jitter = ridge * mean_diag.max(f64::MIN_POSITIVE);
     for _attempt in 0..8 {
         if let Some(f) = try_cholesky(v, jitter) {
             return Some(f);
         }
-        jitter = if jitter == 0.0 { 1e-12 * mean_diag.max(1.0) } else { jitter * 10.0 };
+        jitter = if jitter == 0.0 {
+            1e-12 * mean_diag.max(1.0)
+        } else {
+            jitter * 10.0
+        };
     }
     None
 }
@@ -151,7 +154,10 @@ mod tests {
         // Rank-1 matrix: plain Cholesky fails, ridge fallback must succeed.
         let v = Mat::from_vec(3, 3, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
         let f = cholesky(&v, 1e-9);
-        assert!(f.is_some(), "ridge fallback should make rank-deficient matrix factorizable");
+        assert!(
+            f.is_some(),
+            "ridge fallback should make rank-deficient matrix factorizable"
+        );
     }
 
     #[test]

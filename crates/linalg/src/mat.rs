@@ -18,7 +18,11 @@ pub struct Mat {
 impl Mat {
     /// An all-zero matrix of the given dimensions.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -182,7 +186,11 @@ impl Mat {
 
     /// Frobenius norm, accumulated in `f64`.
     pub fn frob_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Transposed copy.
@@ -206,9 +214,10 @@ impl Mat {
         if (self.rows, self.cols) != (other.rows, other.cols) {
             return false;
         }
-        self.data.iter().zip(&other.data).all(|(&a, &b)| {
-            (a - b).abs() <= abs + rel * a.abs().max(b.abs())
-        })
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(&a, &b)| (a - b).abs() <= abs + rel * a.abs().max(b.abs()))
     }
 
     /// Normalizes every column to unit Euclidean norm, returning the norms

@@ -39,7 +39,11 @@ pub fn model_norm_sq(lambda: &[f32], gram_had_all: &Mat) -> f64 {
 /// kernels against the textbook definition of MTTKRP — real code paths never
 /// materialize the KRP (that is the whole point of sparse MTTKRP kernels).
 pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.cols(), "khatri-rao requires equal column counts");
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "khatri-rao requires equal column counts"
+    );
     let r = a.cols();
     Mat::from_fn(a.rows() * b.rows(), r, |row, c| {
         let ia = row / b.rows();

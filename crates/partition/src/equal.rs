@@ -59,10 +59,19 @@ impl EqualPlan {
                 let c = &mut touched[r as usize];
                 *c = c.saturating_add(1);
             }
-            chunks.push(EqualChunk { gpu: g, elem_range: lo..hi, stats });
+            chunks.push(EqualChunk {
+                gpu: g,
+                elem_range: lo..hi,
+                stats,
+            });
         }
         let conflicted_rows = touched.iter().filter(|&&c| c >= 2).count() as u64;
-        Self { mode: d, chunks, conflicted_rows, total_touched_rows }
+        Self {
+            mode: d,
+            chunks,
+            conflicted_rows,
+            total_touched_rows,
+        }
     }
 }
 
@@ -90,7 +99,10 @@ mod tests {
         let sizes: Vec<usize> = p.chunks.iter().map(|c| c.elem_range.len()).collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
-        assert!(max - min <= max.div_ceil(4), "sizes {sizes:?} not near-equal");
+        assert!(
+            max - min <= max.div_ceil(4),
+            "sizes {sizes:?} not near-equal"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl PartitionPlan {
         let modes = (0..t.order())
             .map(|d| ModePlan::build(t, d, num_gpus, shard_nnz_budget))
             .collect();
-        Self { modes, preprocess_wall: start.elapsed().as_secs_f64() }
+        Self {
+            modes,
+            preprocess_wall: start.elapsed().as_secs_f64(),
+        }
     }
 
     /// Host-memory bytes consumed by all tensor copies (charged to the host

@@ -30,7 +30,12 @@ impl ShardStats {
     ///
     /// Works on any element order (sort-based counting on scratch copies);
     /// cost `O(k log k)` for a range of `k` elements.
-    pub fn compute(t: &SparseTensor, d: usize, elem_range: Range<usize>, cache_rows: usize) -> Self {
+    pub fn compute(
+        t: &SparseTensor,
+        d: usize,
+        elem_range: Range<usize>,
+        cache_rows: usize,
+    ) -> Self {
         let k = elem_range.len();
         if k == 0 {
             return Self::default();
@@ -73,7 +78,13 @@ impl ShardStats {
             }
         }
         let dram_factor_reads = amped_sim::costmodel::dram_factor_reads(row_counts, cache_rows);
-        Self { nnz: k as u64, distinct_out, max_out_run, distinct_in_total, dram_factor_reads }
+        Self {
+            nnz: k as u64,
+            distinct_out,
+            max_out_run,
+            distinct_in_total,
+            dram_factor_reads,
+        }
     }
 }
 
@@ -160,7 +171,13 @@ impl ModePlan {
             }
             // GPUs with empty ranges contribute no shards.
         }
-        Self { mode: d, num_gpus, device_ranges, shards, tensor: sorted }
+        Self {
+            mode: d,
+            num_gpus,
+            device_ranges,
+            shards,
+            tensor: sorted,
+        }
     }
 
     /// Total nonzeros assigned to each GPU.
@@ -174,7 +191,10 @@ impl ModePlan {
 
     /// Output rows owned by each GPU (`device_ranges` lengths).
     pub fn gpu_rows(&self) -> Vec<u64> {
-        self.device_ranges.iter().map(|r| (r.end - r.start) as u64).collect()
+        self.device_ranges
+            .iter()
+            .map(|r| (r.end - r.start) as u64)
+            .collect()
     }
 
     /// Shards owned by GPU `g`, in stream order.
@@ -204,8 +224,13 @@ mod tests {
     use proptest::prelude::*;
 
     fn tensor() -> SparseTensor {
-        GenSpec { shape: vec![64, 40, 50], nnz: 3000, skew: vec![0.8, 0.0, 0.0], seed: 7 }
-            .generate()
+        GenSpec {
+            shape: vec![64, 40, 50],
+            nnz: 3000,
+            skew: vec![0.8, 0.0, 0.0],
+            seed: 7,
+        }
+        .generate()
     }
 
     #[test]
@@ -219,7 +244,10 @@ mod tests {
                 covered[e] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "some element missing from all shards");
+        assert!(
+            covered.iter().all(|&c| c),
+            "some element missing from all shards"
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@ pub fn atomic_add_f32(cell: &AtomicU32, delta: f32) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = f32::from_bits(cur) + delta;
-        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }
@@ -69,7 +68,10 @@ impl AtomicMat {
 
     /// Snapshot into a plain row-major vector.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect()
+        self.data
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Resets every entry to zero.

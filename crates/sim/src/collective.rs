@@ -48,7 +48,11 @@ pub fn ring_allgather<T: Clone>(blocks: &[T]) -> Vec<Vec<T>> {
     }
     slots
         .into_iter()
-        .map(|row| row.into_iter().map(|o| o.expect("all blocks gathered")).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|o| o.expect("all blocks gathered"))
+                .collect()
+        })
         .collect()
 }
 
@@ -86,7 +90,10 @@ pub fn host_staged_gather_time(pcie: &LinkSpec, block_bytes: &[u64]) -> f64 {
         return 0.0;
     }
     let total: u64 = block_bytes.iter().sum();
-    let upload = block_bytes.iter().map(|&b| pcie.transfer_time(b)).fold(0.0f64, f64::max);
+    let upload = block_bytes
+        .iter()
+        .map(|&b| pcie.transfer_time(b))
+        .fold(0.0f64, f64::max);
     let download = pcie.transfer_time(total);
     upload + download
 }
@@ -117,13 +124,19 @@ mod tests {
 
     #[test]
     fn ring_time_zero_for_single_gpu() {
-        let link = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+        let link = LinkSpec {
+            gbps: 50.0,
+            latency_s: 1e-5,
+        };
         assert_eq!(ring_allgather_time(&link, &[1000]), 0.0);
     }
 
     #[test]
     fn ring_time_equal_blocks() {
-        let link = LinkSpec { gbps: 1.0, latency_s: 0.0 };
+        let link = LinkSpec {
+            gbps: 1.0,
+            latency_s: 0.0,
+        };
         // 4 GPUs, 1 GB blocks: 3 steps × 1 s.
         let t = ring_allgather_time(&link, &[1_000_000_000; 4]);
         assert!((t - 3.0).abs() < 1e-9);
@@ -131,7 +144,10 @@ mod tests {
 
     #[test]
     fn ring_time_dominated_by_largest_block() {
-        let link = LinkSpec { gbps: 1.0, latency_s: 0.0 };
+        let link = LinkSpec {
+            gbps: 1.0,
+            latency_s: 0.0,
+        };
         // One 2 GB block circulates through 3 steps; every step forwards it
         // somewhere, so every step costs 2 s.
         let t = ring_allgather_time(&link, &[2_000_000_000, 0, 0, 0]);
@@ -142,11 +158,20 @@ mod tests {
     fn host_staged_slower_than_ring_for_bulk() {
         // The paper picks the ring because it suits bulk transfers on
         // bandwidth-limited links; verify the model agrees for equal blocks.
-        let pcie = LinkSpec { gbps: 64.0, latency_s: 1e-5 };
-        let p2p = LinkSpec { gbps: 50.0, latency_s: 1e-5 };
+        let pcie = LinkSpec {
+            gbps: 64.0,
+            latency_s: 1e-5,
+        };
+        let p2p = LinkSpec {
+            gbps: 50.0,
+            latency_s: 1e-5,
+        };
         let blocks = [64_000_000u64; 4]; // 64 MB each
         let ring = ring_allgather_time(&p2p, &blocks);
         let staged = host_staged_gather_time(&pcie, &blocks);
-        assert!(ring < staged, "ring {ring} should beat host-staged {staged}");
+        assert!(
+            ring < staged,
+            "ring {ring} should beat host-staged {staged}"
+        );
     }
 }

@@ -107,8 +107,7 @@ impl CostModel {
 
         // --- FLOPs: (N−1) Hadamard levels + value scale + accumulate.
         let flops = nnz * r * (s.order as f64 + 1.0);
-        let flop_time = flops / gpu.sm_flops()
-            + nnz * self.elem_overhead_ns * decode_factor * 1e-9;
+        let flop_time = flops / gpu.sm_flops() + nnz * self.elem_overhead_ns * decode_factor * 1e-9;
 
         // --- DRAM traffic.
         // Tensor elements stream once.
@@ -203,8 +202,14 @@ mod tests {
         // single output row (serialization depth ≈ nnz), the other spreads
         // updates evenly. Only the serialized block should pay extra (the
         // light row traffic keeps DRAM below the serialization floor).
-        let spread = BlockStats { max_out_run: 50, ..stats(50_000, 1_000, 5_000) };
-        let hot = BlockStats { max_out_run: 50_000, ..stats(50_000, 1_000, 5_000) };
+        let spread = BlockStats {
+            max_out_run: 50,
+            ..stats(50_000, 1_000, 5_000)
+        };
+        let hot = BlockStats {
+            max_out_run: 50_000,
+            ..stats(50_000, 1_000, 5_000)
+        };
         let t_spread = m.block_time(&g, &spread, 1.0, 142);
         let t_hot = m.block_time(&g, &hot, 1.0, 142);
         assert!(

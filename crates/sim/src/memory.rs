@@ -19,7 +19,12 @@ pub struct MemPool {
 impl MemPool {
     /// A pool with the given capacity in bytes.
     pub fn new(label: impl Into<String>, capacity: u64) -> Self {
-        Self { label: label.into(), capacity, used: 0, peak: 0 }
+        Self {
+            label: label.into(),
+            capacity,
+            used: 0,
+            peak: 0,
+        }
     }
 
     /// Pool label (used in error messages).
@@ -105,7 +110,12 @@ mod tests {
         let mut p = MemPool::new("gpu1", 100);
         p.alloc(80).unwrap();
         match p.alloc(30) {
-            Err(SimError::OutOfMemory { device, requested, capacity, in_use }) => {
+            Err(SimError::OutOfMemory {
+                device,
+                requested,
+                capacity,
+                in_use,
+            }) => {
                 assert_eq!(device, "gpu1");
                 assert_eq!(requested, 30);
                 assert_eq!(capacity, 100);

@@ -87,7 +87,11 @@ impl RunReport {
         if denom <= 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        ((a.compute + a.host) / denom, (a.h2d + a.d2h) / denom, a.p2p / denom)
+        (
+            (a.compute + a.host) / denom,
+            (a.h2d + a.d2h) / denom,
+            a.p2p / denom,
+        )
     }
 
     /// Fig. 8's metric: `(max − min)` per-GPU compute time as a fraction of
@@ -128,15 +132,29 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums_components() {
-        let b = TimeBreakdown { compute: 1.0, h2d: 2.0, d2h: 0.5, p2p: 0.25, host: 0.1, idle: 0.15 };
+        let b = TimeBreakdown {
+            compute: 1.0,
+            h2d: 2.0,
+            d2h: 0.5,
+            p2p: 0.25,
+            host: 0.1,
+            idle: 0.15,
+        };
         assert!((b.total() - 4.0).abs() < 1e-12);
         assert!((b.communication() - 2.75).abs() < 1e-12);
     }
 
     #[test]
     fn add_accumulates() {
-        let mut a = TimeBreakdown { compute: 1.0, ..Default::default() };
-        a.add(&TimeBreakdown { compute: 2.0, p2p: 1.0, ..Default::default() });
+        let mut a = TimeBreakdown {
+            compute: 1.0,
+            ..Default::default()
+        };
+        a.add(&TimeBreakdown {
+            compute: 2.0,
+            p2p: 1.0,
+            ..Default::default()
+        });
         assert_eq!(a.compute, 3.0);
         assert_eq!(a.p2p, 1.0);
     }
@@ -145,9 +163,12 @@ mod tests {
     fn fig7_fractions_normalize() {
         let r = RunReport {
             total_time: 1.0,
-            per_gpu: vec![
-                TimeBreakdown { compute: 6.0, h2d: 3.0, p2p: 1.0, ..Default::default() },
-            ],
+            per_gpu: vec![TimeBreakdown {
+                compute: 6.0,
+                h2d: 3.0,
+                p2p: 1.0,
+                ..Default::default()
+            }],
             per_mode: vec![],
             preprocess_wall: 0.0,
         };
@@ -160,7 +181,10 @@ mod tests {
 
     #[test]
     fn overhead_fraction_zero_when_balanced() {
-        let mk = |c: f64| TimeBreakdown { compute: c, ..Default::default() };
+        let mk = |c: f64| TimeBreakdown {
+            compute: c,
+            ..Default::default()
+        };
         let r = RunReport {
             total_time: 1.0,
             per_gpu: vec![mk(2.0), mk(2.0), mk(2.0)],

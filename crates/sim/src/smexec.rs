@@ -74,13 +74,20 @@ pub fn list_schedule_makespan(sms: usize, costs: impl IntoIterator<Item = f64>) 
         makespan = makespan.max(end);
         heap.push(Reverse(Time(end)));
     }
-    GridTiming { makespan, busy_sum, blocks }
+    GridTiming {
+        makespan,
+        busy_sum,
+        blocks,
+    }
 }
 
 /// Maximum number of host threads used to *execute* grids. Simulated time is
 /// independent of this; it only bounds real CPU usage.
 pub fn host_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Executes a grid: runs `kernel(block_index)` for every block on the host

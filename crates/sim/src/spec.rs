@@ -104,9 +104,15 @@ impl PlatformSpec {
         assert!(num_gpus >= 1, "a platform needs at least one GPU");
         Self {
             gpus: vec![GpuSpec::rtx6000_ada(); num_gpus],
-            pcie: LinkSpec { gbps: 64.0, latency_s: 10e-6 },
+            pcie: LinkSpec {
+                gbps: 64.0,
+                latency_s: 10e-6,
+            },
             host_agg_gbps: 460.0, // 12-channel DDR5 per socket, conservative
-            p2p: LinkSpec { gbps: 50.0, latency_s: 10e-6 },
+            p2p: LinkSpec {
+                gbps: 50.0,
+                latency_s: 10e-6,
+            },
             host: HostSpec {
                 mem_bytes: 1_500_000_000_000, // 1.5 TB
                 cores: 192,
@@ -174,7 +180,10 @@ mod tests {
     #[test]
     fn scaling_shrinks_capacities_not_rates() {
         let p = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
-        assert_eq!(p.gpus[0].mem_bytes, (48.0 * 1024.0 * 1024.0 * 1024.0 * 1e-3) as u64);
+        assert_eq!(
+            p.gpus[0].mem_bytes,
+            (48.0 * 1024.0 * 1024.0 * 1024.0 * 1e-3) as u64
+        );
         assert_eq!(p.gpus[0].dram_gbps, 960.0);
         assert_eq!(p.pcie.gbps, 64.0);
         assert!(p.host.mem_bytes < 2_000_000_000);
@@ -182,7 +191,10 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_latency() {
-        let l = LinkSpec { gbps: 10.0, latency_s: 1e-5 };
+        let l = LinkSpec {
+            gbps: 10.0,
+            latency_s: 1e-5,
+        };
         let t = l.transfer_time(10_000_000_000); // 10 GB at 10 GB/s = 1 s
         assert!((t - 1.00001).abs() < 1e-9);
         assert_eq!(l.transfer_time(0), 1e-5);

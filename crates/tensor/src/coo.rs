@@ -32,7 +32,11 @@ impl SparseTensor {
     pub fn new(shape: Vec<Idx>) -> Self {
         assert!(!shape.is_empty(), "a tensor needs at least one mode");
         assert!(shape.iter().all(|&s| s > 0), "mode sizes must be nonzero");
-        Self { shape, indices: Vec::new(), values: Vec::new() }
+        Self {
+            shape,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// An empty tensor with capacity reserved for `nnz` nonzeros.
@@ -48,9 +52,18 @@ impl SparseTensor {
     /// # Panics
     /// Panics on length mismatch or out-of-bounds coordinates.
     pub fn from_parts(shape: Vec<Idx>, indices: Vec<Idx>, values: Vec<Val>) -> Self {
-        let t = Self { shape, indices, values };
-        assert_eq!(t.indices.len(), t.values.len() * t.order(), "coordinate array length mismatch");
-        t.validate().expect("coordinates must be within the declared shape");
+        let t = Self {
+            shape,
+            indices,
+            values,
+        };
+        assert_eq!(
+            t.indices.len(),
+            t.values.len() * t.order(),
+            "coordinate array length mismatch"
+        );
+        t.validate()
+            .expect("coordinates must be within the declared shape");
         t
     }
 
@@ -116,7 +129,11 @@ impl SparseTensor {
     pub fn push(&mut self, coords: &[Idx], val: Val) {
         assert_eq!(coords.len(), self.order(), "coordinate arity mismatch");
         for (m, &c) in coords.iter().enumerate() {
-            assert!(c < self.shape[m], "coordinate {c} out of bounds for mode {m} (size {})", self.shape[m]);
+            assert!(
+                c < self.shape[m],
+                "coordinate {c} out of bounds for mode {m} (size {})",
+                self.shape[m]
+            );
         }
         self.indices.extend_from_slice(coords);
         self.values.push(val);
@@ -128,7 +145,10 @@ impl SparseTensor {
         self.values
             .iter()
             .enumerate()
-            .map(move |(e, &val)| ElemRef { coords: &self.indices[e * n..(e + 1) * n], val })
+            .map(move |(e, &val)| ElemRef {
+                coords: &self.indices[e * n..(e + 1) * n],
+                val,
+            })
     }
 
     /// Checks that every coordinate is within the declared shape.
@@ -194,7 +214,11 @@ impl SparseTensor {
             indices.extend_from_slice(self.coords(src));
             values.push(self.values[src]);
         }
-        SparseTensor { shape: self.shape.clone(), indices, values }
+        SparseTensor {
+            shape: self.shape.clone(),
+            indices,
+            values,
+        }
     }
 
     /// Stable counting sort of elements by their mode-`d` coordinate.
@@ -333,8 +357,7 @@ mod tests {
         t.push(&[1, 0], 1.0);
         let d = t.deduplicated();
         assert_eq!(d.nnz(), 2);
-        let m: Vec<(Vec<Idx>, Val)> =
-            d.iter().map(|e| (e.coords.to_vec(), e.val)).collect();
+        let m: Vec<(Vec<Idx>, Val)> = d.iter().map(|e| (e.coords.to_vec(), e.val)).collect();
         assert!(m.contains(&(vec![0, 1], 3.5)));
         assert!(m.contains(&(vec![1, 0], 1.0)));
     }

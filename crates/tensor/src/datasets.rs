@@ -39,7 +39,12 @@ pub enum Dataset {
 }
 
 /// All datasets in the order the paper's figures list them.
-pub const ALL: [Dataset; 4] = [Dataset::Amazon, Dataset::Patents, Dataset::Reddit, Dataset::Twitch];
+pub const ALL: [Dataset; 4] = [
+    Dataset::Amazon,
+    Dataset::Patents,
+    Dataset::Reddit,
+    Dataset::Twitch,
+];
 
 impl Dataset {
     /// Human-readable name as used in the paper's figures.
@@ -118,12 +123,17 @@ impl Dataset {
             // scaled; the term modes scale as sqrt so the paper's density
             // (1.37e-3) is preserved.
             Dataset::Patents => {
-                let a = ((239_200.0f64 * 239_200.0 * scale * self.nnz_adjust()).sqrt()).round()
-                    as Idx;
+                let a =
+                    ((239_200.0f64 * 239_200.0 * scale * self.nnz_adjust()).sqrt()).round() as Idx;
                 vec![46, a, a]
             }
         };
-        GenSpec { shape, nnz, skew: self.skew(), seed: self.seed() }
+        GenSpec {
+            shape,
+            nnz,
+            skew: self.skew(),
+            seed: self.seed(),
+        }
     }
 
     /// Deterministic per-dataset seed so every figure sees identical data.
@@ -214,9 +224,7 @@ mod tests {
     #[test]
     fn twitch_is_most_skewed_dataset() {
         // The paper attributes the largest inter-GPU imbalance to Twitch.
-        let max_skew = |d: Dataset| {
-            d.skew().into_iter().fold(0.0f64, f64::max)
-        };
+        let max_skew = |d: Dataset| d.skew().into_iter().fold(0.0f64, f64::max);
         for d in [Dataset::Amazon, Dataset::Patents, Dataset::Reddit] {
             assert!(max_skew(Dataset::Twitch) > max_skew(d));
         }

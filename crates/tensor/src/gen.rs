@@ -32,7 +32,12 @@ impl GenSpec {
     /// A uniform (no skew) spec.
     pub fn uniform(shape: Vec<Idx>, nnz: usize, seed: u64) -> Self {
         let skew = vec![0.0; shape.len()];
-        Self { shape, nnz, skew, seed }
+        Self {
+            shape,
+            nnz,
+            skew,
+            seed,
+        }
     }
 
     /// Generates the tensor with **exactly** `nnz` unique coordinates
@@ -50,7 +55,11 @@ impl GenSpec {
     /// clustered at 0 — this matters for the contiguous range partitioner,
     /// which would otherwise see an artificially easy instance.
     pub fn generate(&self) -> SparseTensor {
-        assert_eq!(self.shape.len(), self.skew.len(), "skew arity must match shape");
+        assert_eq!(
+            self.shape.len(),
+            self.skew.len(),
+            "skew arity must match shape"
+        );
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let samplers: Vec<Zipf> = self
             .shape
@@ -115,7 +124,10 @@ impl CoordKey {
             shifts[m] = acc;
             acc += bits[m];
         }
-        Self { shifts, packable: total <= 128 }
+        Self {
+            shifts,
+            packable: total <= 128,
+        }
     }
 
     fn packable(&self) -> bool {
@@ -198,7 +210,11 @@ pub fn low_rank(
     // and bounded away from zero (avoids degenerate all-zero rows).
     let factors: Vec<Vec<Val>> = shape
         .iter()
-        .map(|&dim| (0..dim as usize * rank).map(|_| 0.1 + rng.gen::<f32>()).collect())
+        .map(|&dim| {
+            (0..dim as usize * rank)
+                .map(|_| 0.1 + rng.gen::<f32>())
+                .collect()
+        })
         .collect();
     let mut t = SparseTensor::with_capacity(shape.to_vec(), nnz);
     let mut seen = std::collections::HashSet::with_capacity(nnz);
@@ -243,11 +259,18 @@ pub fn low_rank_dense(
     seed: u64,
 ) -> (SparseTensor, Vec<Vec<Val>>) {
     let cells: usize = shape.iter().map(|&d| d as usize).product();
-    assert!(cells <= 1_000_000, "dense low-rank generator is for small shapes");
+    assert!(
+        cells <= 1_000_000,
+        "dense low-rank generator is for small shapes"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let factors: Vec<Vec<Val>> = shape
         .iter()
-        .map(|&dim| (0..dim as usize * rank).map(|_| 0.1 + rng.gen::<f32>()).collect())
+        .map(|&dim| {
+            (0..dim as usize * rank)
+                .map(|_| 0.1 + rng.gen::<f32>())
+                .collect()
+        })
         .collect();
     let n = shape.len();
     let mut t = SparseTensor::with_capacity(shape.to_vec(), cells);

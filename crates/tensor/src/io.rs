@@ -64,7 +64,10 @@ pub fn read_tns(reader: impl BufRead) -> Result<SparseTensor, TnsError> {
         let mut fields = line.split_ascii_whitespace();
         let toks: Vec<&str> = fields.by_ref().collect();
         if toks.len() < 2 {
-            return Err(TnsError::Parse(line_no, "expected at least one index and a value".into()));
+            return Err(TnsError::Parse(
+                line_no,
+                "expected at least one index and a value".into(),
+            ));
         }
         let n = toks.len() - 1;
         match order {
@@ -85,7 +88,10 @@ pub fn read_tns(reader: impl BufRead) -> Result<SparseTensor, TnsError> {
                 .parse()
                 .map_err(|_| TnsError::Parse(line_no, format!("bad index '{tok}'")))?;
             if one_based == 0 {
-                return Err(TnsError::Parse(line_no, "indices are 1-based; found 0".into()));
+                return Err(TnsError::Parse(
+                    line_no,
+                    "indices are 1-based; found 0".into(),
+                ));
             }
             let zero_based = one_based - 1;
             if zero_based > Idx::MAX as u64 {
@@ -163,7 +169,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_input() {
-        assert!(matches!(read_tns("# only comments\n".as_bytes()), Err(TnsError::Empty)));
+        assert!(matches!(
+            read_tns("# only comments\n".as_bytes()),
+            Err(TnsError::Empty)
+        ));
     }
 
     #[test]

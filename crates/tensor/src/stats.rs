@@ -43,14 +43,22 @@ pub fn mode_stats(t: &SparseTensor, d: usize) -> ModeStats {
     let hist = t.mode_hist(d);
     let distinct = hist.iter().filter(|&&h| h > 0).count() as u64;
     let max_per_index = hist.iter().copied().max().unwrap_or(0);
-    let mean = if distinct == 0 { 0.0 } else { t.nnz() as f64 / distinct as f64 };
+    let mean = if distinct == 0 {
+        0.0
+    } else {
+        t.nnz() as f64 / distinct as f64
+    };
     ModeStats {
         mode: d,
         dim: t.dim(d),
         distinct,
         max_per_index,
         mean_per_used_index: mean,
-        imbalance: if mean > 0.0 { max_per_index as f64 / mean } else { 0.0 },
+        imbalance: if mean > 0.0 {
+            max_per_index as f64 / mean
+        } else {
+            0.0
+        },
     }
 }
 
@@ -60,7 +68,11 @@ pub fn tensor_stats(t: &SparseTensor) -> TensorStats {
     TensorStats {
         nnz: t.nnz(),
         shape: t.shape().to_vec(),
-        density: if dense_cells > 0.0 { t.nnz() as f64 / dense_cells } else { 0.0 },
+        density: if dense_cells > 0.0 {
+            t.nnz() as f64 / dense_cells
+        } else {
+            0.0
+        },
         modes: (0..t.order()).map(|d| mode_stats(t, d)).collect(),
     }
 }
@@ -89,9 +101,16 @@ mod tests {
         assert!(s.density > 0.0 && s.density <= 1.0);
         for m in &s.modes {
             assert!(m.distinct <= m.dim as u64);
-            assert!(m.imbalance >= 1.0, "max cannot be below the mean of used indices");
+            assert!(
+                m.imbalance >= 1.0,
+                "max cannot be below the mean of used indices"
+            );
             // Uniform data should be fairly even.
-            assert!(m.imbalance < 4.0, "uniform imbalance too high: {}", m.imbalance);
+            assert!(
+                m.imbalance < 4.0,
+                "uniform imbalance too high: {}",
+                m.imbalance
+            );
         }
     }
 

@@ -34,15 +34,30 @@ impl Zipf {
     /// Panics if `n == 0`, `s < 0`, or `s` is not finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf support must be nonempty");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and ≥ 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and ≥ 0"
+        );
         if s == 0.0 {
-            return Self { n, s, h_n: 0.0, dist: 0.0, threshold: 0.0 };
+            return Self {
+                n,
+                s,
+                h_n: 0.0,
+                dist: 0.0,
+                threshold: 0.0,
+            };
         }
         let h_x1 = h_integral(1.5, s) - 1.0;
         let h_n = h_integral(n as f64 + 0.5, s);
         // Acceptance shortcut constant from Hörmann & Derflinger (1996).
         let threshold = 2.0 - h_integral_inv(h_integral(2.5, s) - h(2.0, s), s);
-        Self { n, s, h_n, dist: h_x1 - h_n, threshold }
+        Self {
+            n,
+            s,
+            h_n,
+            dist: h_x1 - h_n,
+            threshold,
+        }
     }
 
     /// The support size.
@@ -138,7 +153,10 @@ mod tests {
         }
         for &c in &counts {
             // Each bucket expects 2000; allow wide slack.
-            assert!((1600..2400).contains(&c), "uniform bucket count {c} out of band");
+            assert!(
+                (1600..2400).contains(&c),
+                "uniform bucket count {c} out of band"
+            );
         }
     }
 
@@ -167,7 +185,10 @@ mod tests {
             counts[z.sample(&mut rng) as usize] += 1;
         }
         let max = counts.iter().copied().max().unwrap();
-        assert_eq!(counts[0], max, "rank 0 must be the mode of the distribution");
+        assert_eq!(
+            counts[0], max,
+            "rank 0 must be the mode of the distribution"
+        );
     }
 
     #[test]

@@ -18,10 +18,19 @@ fn main() {
     );
 
     let platform = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
-    let cfg = AmpedConfig { rank: 6, isp_nnz: 2048, shard_nnz_budget: 16384, ..Default::default() };
+    let cfg = AmpedConfig {
+        rank: 6,
+        isp_nnz: 2048,
+        shard_nnz_budget: 16384,
+        ..Default::default()
+    };
     let mut engine = AmpedEngine::new(&tensor, platform, cfg).expect("fits");
 
-    let opts = AlsOptions { max_iters: 40, tol: 1e-7, seed: 3 };
+    let opts = AlsOptions {
+        max_iters: 40,
+        tol: 1e-7,
+        seed: 3,
+    };
     let result = cp_als(&mut engine, &opts).expect("ALS runs");
 
     println!("\niter   fit");

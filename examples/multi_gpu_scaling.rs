@@ -27,9 +27,15 @@ fn main() {
             use rand::rngs::SmallRng;
             use rand::SeedableRng;
             let mut rng = SmallRng::seed_from_u64(1);
-            tensor.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+            tensor
+                .shape()
+                .iter()
+                .map(|&d| Mat::random(d as usize, rank, &mut rng))
+                .collect()
         };
-        let run = sys.execute(&tensor, &factors).expect("AMPED runs at every GPU count");
+        let run = sys
+            .execute(&tensor, &factors)
+            .expect("AMPED runs at every GPU count");
         let t = run.report.total_time;
         let speedup = match base {
             None => {

@@ -30,8 +30,11 @@ fn main() {
     );
 
     let mut rng = SmallRng::seed_from_u64(5);
-    let factors: Vec<Mat> =
-        tensor.shape().iter().map(|&d| Mat::random(d as usize, 32, &mut rng)).collect();
+    let factors: Vec<Mat> = tensor
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, 32, &mut rng))
+        .collect();
 
     let mut systems: Vec<Box<dyn MttkrpSystem>> = vec![
         Box::new(AmpedSystem::with_rank(platform4, 32)),

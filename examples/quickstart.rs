@@ -59,7 +59,9 @@ fn main() {
     println!("mode 0 simulated wall time: {:.3} ms", timing.wall * 1e3);
 
     // 5. Full Algorithm 1 (all modes) with the per-GPU breakdown.
-    let report = engine.mttkrp_all_modes(&mut factors).expect("all modes run");
+    let report = engine
+        .mttkrp_all_modes(&mut factors)
+        .expect("all modes run");
     println!(
         "all {} modes: {:.3} ms total (simulated)",
         report.per_mode.len(),

@@ -25,8 +25,11 @@ fn main() {
     );
 
     let mut rng = SmallRng::seed_from_u64(21);
-    let factors: Vec<Mat> =
-        tensor.shape().iter().map(|&d| Mat::random(d as usize, 32, &mut rng)).collect();
+    let factors: Vec<Mat> = tensor
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, 32, &mut rng))
+        .collect();
 
     let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(scale);
     let p4 = PlatformSpec::rtx6000_ada_node(4).scaled(scale);

@@ -47,7 +47,10 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id like `name/param`.
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        Self { name: name.into(), param: Some(param.to_string()) }
+        Self {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
     }
 
     fn render(&self) -> String {
@@ -60,13 +63,19 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        Self { name: s.to_string(), param: None }
+        Self {
+            name: s.to_string(),
+            param: None,
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(s: String) -> Self {
-        Self { name: s, param: None }
+        Self {
+            name: s,
+            param: None,
+        }
     }
 }
 
@@ -159,7 +168,11 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { mode: self.criterion.mode, mean_ns: 0.0, iters: 0 };
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            mean_ns: 0.0,
+            iters: 0,
+        };
         f(&mut b);
         let full = format!("{}/{}", self.name, id.render());
         match self.criterion.mode {
@@ -167,7 +180,10 @@ impl<'a> BenchmarkGroup<'a> {
             Mode::Timed => {
                 let rate = self.throughput.map(|t| match t {
                     Throughput::Bytes(n) => {
-                        format!("  thrpt: {:.3} GiB/s", n as f64 / b.mean_ns * 1e9 / (1u64 << 30) as f64)
+                        format!(
+                            "  thrpt: {:.3} GiB/s",
+                            n as f64 / b.mean_ns * 1e9 / (1u64 << 30) as f64
+                        )
                     }
                     Throughput::Elements(n) => {
                         format!("  thrpt: {:.3} Melem/s", n as f64 / b.mean_ns * 1e9 / 1e6)
@@ -179,7 +195,8 @@ impl<'a> BenchmarkGroup<'a> {
                     rate.unwrap_or_default(),
                     b.iters
                 );
-                self.criterion.record(&full, b.mean_ns, b.iters, self.throughput);
+                self.criterion
+                    .record(&full, b.mean_ns, b.iters, self.throughput);
             }
         }
     }
@@ -208,7 +225,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { mode: Mode::Timed, json_out: std::env::var_os("CRITERION_SHIM_JSON").map(Into::into) }
+        Self {
+            mode: Mode::Timed,
+            json_out: std::env::var_os("CRITERION_SHIM_JSON").map(Into::into),
+        }
     }
 }
 
@@ -224,7 +244,11 @@ impl Criterion {
 
     /// Opens a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
     }
 
     /// Benchmarks `f` outside any group.
@@ -291,7 +315,10 @@ mod tests {
 
     #[test]
     fn smoke_mode_runs_once() {
-        let mut c = Criterion { mode: Mode::Smoke, json_out: None };
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            json_out: None,
+        };
         let mut count = 0;
         {
             let mut g = c.benchmark_group("g");
@@ -303,7 +330,10 @@ mod tests {
 
     #[test]
     fn timed_mode_measures_and_reports_iters() {
-        let mut c = Criterion { mode: Mode::Timed, json_out: None };
+        let mut c = Criterion {
+            mode: Mode::Timed,
+            json_out: None,
+        };
         let mut g = c.benchmark_group("g");
         g.throughput(Throughput::Elements(10));
         let mut ran = 0u64;

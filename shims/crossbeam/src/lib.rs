@@ -45,7 +45,9 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
         }
     }
 
@@ -56,7 +58,9 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
     }
 }
 

@@ -32,7 +32,11 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 0 }
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
     }
 }
 
@@ -98,7 +102,10 @@ pub fn run_cases(cfg: ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
         let mut rng = TestRng::seed_from_u64(seed);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = result {
-            eprintln!("proptest shim: property failed at case {case}/{}", cfg.cases);
+            eprintln!(
+                "proptest shim: property failed at case {case}/{}",
+                cfg.cases
+            );
             std::panic::resume_unwind(payload);
         }
     }
@@ -205,7 +212,10 @@ mod tests {
     #[test]
     fn cases_are_deterministic() {
         let mut first: Vec<u32> = Vec::new();
-        let cfg = ProptestConfig { cases: 5, ..ProptestConfig::default() };
+        let cfg = ProptestConfig {
+            cases: 5,
+            ..ProptestConfig::default()
+        };
         crate::run_cases(cfg.clone(), |rng| first.push((0u32..1000).sample(rng)));
         let mut second: Vec<u32> = Vec::new();
         crate::run_cases(cfg, |rng| second.push((0u32..1000).sample(rng)));

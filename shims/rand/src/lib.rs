@@ -155,7 +155,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            Self { s: [next(), next(), next(), next()] }
+            Self {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -219,7 +221,10 @@ mod tests {
             assert!((10..15).contains(&v));
             seen[(v - 10) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values of a small range should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range should appear"
+        );
     }
 
     #[test]

@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn derive_struct_preserves_field_order() {
-        let p = Point { x: 1.0, y: 2.0, label: "a".into() };
+        let p = Point {
+            x: 1.0,
+            y: 2.0,
+            label: "a".into(),
+        };
         match p.to_json() {
             Json::Obj(fields) => {
                 let names: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
@@ -171,8 +175,15 @@ mod tests {
 
     #[test]
     fn derive_generic_struct_with_bounds() {
-        let p = Point { x: 0.0, y: 0.0, label: String::new() };
-        let w = Wrapper { inner: &p, kinds: vec![Kind::Alpha] };
+        let p = Point {
+            x: 0.0,
+            y: 0.0,
+            label: String::new(),
+        };
+        let w = Wrapper {
+            inner: &p,
+            kinds: vec![Kind::Alpha],
+        };
         match w.to_json() {
             Json::Obj(fields) => assert_eq!(fields.len(), 2),
             other => panic!("expected object, got {other:?}"),

@@ -28,13 +28,16 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
 
     let kind = expect_ident(tokens, &mut i)?;
     if kind != "struct" && kind != "enum" {
-        return Err(format!("derive(Serialize) shim: expected struct or enum, found `{kind}`"));
+        return Err(format!(
+            "derive(Serialize) shim: expected struct or enum, found `{kind}`"
+        ));
     }
     let name = expect_ident(tokens, &mut i)?;
     let (impl_generics, type_generics) = parse_generics(tokens, &mut i);
 
     // Skip a `where` clause if present (none in this workspace, but cheap).
-    while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
     {
         i += 1;
     }
@@ -68,7 +71,9 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
         let variants = parse_unit_variants(&body, &name)?;
         let arms: String = variants
             .iter()
-            .map(|v| format!("{name}::{v} => ::serde::Json::Str(::std::string::String::from({v:?})),"))
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Json::Str(::std::string::String::from({v:?})),")
+            })
             .collect();
         Ok(format!(
             "impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\
@@ -112,7 +117,9 @@ fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
             *i += 1;
             Ok(id.to_string())
         }
-        other => Err(format!("derive(Serialize) shim: expected identifier, found {other:?}")),
+        other => Err(format!(
+            "derive(Serialize) shim: expected identifier, found {other:?}"
+        )),
     }
 }
 

@@ -152,7 +152,10 @@ mod tests {
     fn compact_rendering() {
         let b = Value::Arr(vec![Value::Bool(true), Value::Null]);
         let v = json!({ "a": 1, "b": b, "c": "x\"y" });
-        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y"}"#
+        );
     }
 
     #[test]
@@ -172,10 +175,7 @@ mod tests {
     fn json_macro_accepts_expressions() {
         let xs: Vec<Value> = (0..3).map(|i| json!({ "i": i })).collect();
         let v = json!(xs);
-        assert_eq!(
-            to_string(&v).unwrap(),
-            r#"[{"i":0},{"i":1},{"i":2}]"#
-        );
+        assert_eq!(to_string(&v).unwrap(), r#"[{"i":0},{"i":1},{"i":2}]"#);
     }
 
     #[test]

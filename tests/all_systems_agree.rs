@@ -7,7 +7,10 @@ use rand::SeedableRng;
 
 fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+    t.shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect()
 }
 
 /// Algorithm-1 semantics: each mode's MTTKRP output replaces the factor
@@ -83,7 +86,10 @@ fn four_mode_tensor_supported_systems() {
     }
     // ParTI is 3-mode only.
     let mut parti = PartiSystem::new(p1);
-    assert!(matches!(parti.execute(&t, &factors), Err(SimError::Unsupported(_))));
+    assert!(matches!(
+        parti.execute(&t, &factors),
+        Err(SimError::Unsupported(_))
+    ));
 }
 
 #[test]

@@ -7,9 +7,22 @@ use amped::prelude::*;
 fn cp_als_end_to_end_recovers_structure() {
     let (t, _) = low_rank_dense(&[24, 20, 16], 5, 0.0, 501);
     let platform = PlatformSpec::rtx6000_ada_node(3).scaled(1e-3);
-    let cfg = AmpedConfig { rank: 5, isp_nnz: 1024, shard_nnz_budget: 8192, ..Default::default() };
+    let cfg = AmpedConfig {
+        rank: 5,
+        isp_nnz: 1024,
+        shard_nnz_budget: 8192,
+        ..Default::default()
+    };
     let mut engine = AmpedEngine::new(&t, platform, cfg).unwrap();
-    let res = cp_als(&mut engine, &AlsOptions { max_iters: 50, tol: 1e-8, seed: 502 }).unwrap();
+    let res = cp_als(
+        &mut engine,
+        &AlsOptions {
+            max_iters: 50,
+            tol: 1e-8,
+            seed: 502,
+        },
+    )
+    .unwrap();
     assert!(
         *res.fits.last().unwrap() > 0.98,
         "rank-5 recovery failed: fits {:?}",
@@ -38,15 +51,16 @@ fn frostt_round_trip_preserves_mttkrp_results() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(504);
-    let factors: Vec<Mat> =
-        t.shape().iter().map(|&d| Mat::random(d as usize, 8, &mut rng)).collect();
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, 8, &mut rng))
+        .collect();
     let factors2: Vec<Mat> = t2
         .shape()
         .iter()
         .enumerate()
-        .map(|(m, &d)| {
-            Mat::from_fn(d as usize, 8, |r, c| factors[m].get(r, c))
-        })
+        .map(|(m, &d)| Mat::from_fn(d as usize, 8, |r, c| factors[m].get(r, c)))
         .collect();
     let a = mttkrp_ref(&t, &factors, 0);
     let b = mttkrp_ref(&t2, &factors2, 0);
@@ -67,8 +81,11 @@ fn deterministic_simulation_across_runs() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(505);
-    let factors: Vec<Mat> =
-        t.shape().iter().map(|&d| Mat::random(d as usize, 16, &mut rng)).collect();
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, 16, &mut rng))
+        .collect();
     let run = |seed_irrelevant: u64| {
         let _ = seed_irrelevant;
         AmpedSystem::with_rank(PlatformSpec::rtx6000_ada_node(4).scaled(5e-5), 16)
@@ -78,7 +95,10 @@ fn deterministic_simulation_across_runs() {
     };
     let r1 = run(1);
     let r2 = run(2);
-    assert_eq!(r1.total_time, r2.total_time, "simulated time must be deterministic");
+    assert_eq!(
+        r1.total_time, r2.total_time,
+        "simulated time must be deterministic"
+    );
     assert_eq!(r1.per_mode, r2.per_mode);
     for (a, b) in r1.per_gpu.iter().zip(&r2.per_gpu) {
         assert_eq!(a.compute, b.compute);

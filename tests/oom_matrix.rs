@@ -29,8 +29,11 @@ enum Expect {
 
 fn run_one(sys: &mut dyn MttkrpSystem, t: &SparseTensor, rank: usize) -> Expect {
     let mut rng = SmallRng::seed_from_u64(7);
-    let factors: Vec<Mat> =
-        t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect();
     match sys.execute(t, &factors) {
         Ok(_) => Expect::Runs,
         Err(e) if e.is_oom() => Expect::Oom,
@@ -46,7 +49,10 @@ fn fig5_oom_pattern_emerges_from_capacity_accounting() {
         (Dataset::Amazon, [Runs, Runs, Runs, Runs, Oom]),
         (Dataset::Patents, [Runs, Runs, Oom, Runs, Oom]),
         (Dataset::Reddit, [Runs, Runs, Oom, Oom, Oom]),
-        (Dataset::Twitch, [Runs, Runs, Unsupported, Unsupported, Runs]),
+        (
+            Dataset::Twitch,
+            [Runs, Runs, Unsupported, Unsupported, Runs],
+        ),
     ];
     let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(SCALE);
     let p4 = PlatformSpec::rtx6000_ada_node(4).scaled(SCALE);

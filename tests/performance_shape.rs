@@ -8,7 +8,10 @@ use rand::SeedableRng;
 
 fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+    t.shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect()
 }
 
 #[test]
@@ -24,7 +27,9 @@ fn amped_beats_equal_nnz_partitioning() {
     .generate();
     let factors = factors_for(&t, 32, 402);
     let p4 = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
-    let a = AmpedSystem::with_rank(p4.clone(), 32).execute(&t, &factors).unwrap();
+    let a = AmpedSystem::with_rank(p4.clone(), 32)
+        .execute(&t, &factors)
+        .unwrap();
     let e = EqualNnzSystem::new(p4).execute(&t, &factors).unwrap();
     let speedup = e.report.total_time / a.report.total_time;
     assert!(
@@ -43,7 +48,9 @@ fn flycoo_beats_amped_on_small_resident_tensor() {
     let factors = factors_for(&t, 32, 403);
     let p1 = PlatformSpec::rtx6000_ada_node(1).scaled(1e-3);
     let p4 = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
-    let a = AmpedSystem::with_rank(p4, 32).execute(&t, &factors).unwrap();
+    let a = AmpedSystem::with_rank(p4, 32)
+        .execute(&t, &factors)
+        .unwrap();
     let f = FlycooSystem::new(p1).execute(&t, &factors).unwrap();
     assert!(
         f.report.total_time < 0.95 * a.report.total_time,

@@ -9,7 +9,10 @@ use rand::SeedableRng;
 
 fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect()
+    t.shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect()
 }
 
 #[test]
@@ -26,7 +29,10 @@ fn breakdown_components_are_nonnegative_and_consistent() {
         .execute(&t, &factors)
         .unwrap();
     for (g, b) in run.report.per_gpu.iter().enumerate() {
-        assert!(b.compute >= 0.0 && b.h2d >= 0.0 && b.p2p >= 0.0 && b.idle >= 0.0, "gpu{g}");
+        assert!(
+            b.compute >= 0.0 && b.h2d >= 0.0 && b.p2p >= 0.0 && b.idle >= 0.0,
+            "gpu{g}"
+        );
         assert!(b.total() >= b.communication(), "gpu{g}");
     }
     // Per-mode walls sum to the total.
@@ -81,7 +87,10 @@ fn block_time_monotone_in_concurrency_pressure() {
         prev = t;
     }
     // Beyond the SM count, pressure saturates.
-    assert_eq!(m.block_time(&g, &s, 1.0, 142), m.block_time(&g, &s, 1.0, 10_000));
+    assert_eq!(
+        m.block_time(&g, &s, 1.0, 142),
+        m.block_time(&g, &s, 1.0, 10_000)
+    );
 }
 
 #[test]
@@ -97,7 +106,10 @@ fn dram_factor_reads_monotone_in_cache_size() {
         prev = reads;
     }
     // Infinite cache: exactly one fill per distinct row.
-    assert_eq!(dram_factor_reads(counts.clone(), usize::MAX), counts.len() as u64);
+    assert_eq!(
+        dram_factor_reads(counts.clone(), usize::MAX),
+        counts.len() as u64
+    );
     // No cache: every access misses.
     assert_eq!(dram_factor_reads(counts, 0), total);
 }
@@ -108,9 +120,15 @@ fn gpu_memory_peaks_are_reported_and_bounded() {
     let factors = factors_for(&t, 32, 605);
     let spec = PlatformSpec::rtx6000_ada_node(4).scaled(1e-4);
     let cap = spec.gpus[0].mem_bytes;
-    let run = AmpedSystem::with_rank(spec, 32).execute(&t, &factors).unwrap();
+    let run = AmpedSystem::with_rank(spec, 32)
+        .execute(&t, &factors)
+        .unwrap();
     assert!(run.gpu_mem_peak > 0);
-    assert!(run.gpu_mem_peak <= cap, "peak {} exceeds capacity {cap}", run.gpu_mem_peak);
+    assert!(
+        run.gpu_mem_peak <= cap,
+        "peak {} exceeds capacity {cap}",
+        run.gpu_mem_peak
+    );
 }
 
 #[test]
@@ -131,11 +149,16 @@ fn equal_nnz_merge_costs_appear_only_there() {
     let t = GenSpec::uniform(vec![400, 200, 200], 20_000, 607).generate();
     let factors = factors_for(&t, 16, 608);
     let p = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
-    let amped = AmpedSystem::with_rank(p.clone(), 16).execute(&t, &factors).unwrap();
+    let amped = AmpedSystem::with_rank(p.clone(), 16)
+        .execute(&t, &factors)
+        .unwrap();
     let equal = EqualNnzSystem::new(p).execute(&t, &factors).unwrap();
     let a = amped.report.aggregate();
     let e = equal.report.aggregate();
     assert_eq!(a.d2h, 0.0, "AMPED never copies results back to the host");
     assert_eq!(a.host, 0.0, "AMPED never computes on the host");
-    assert!(e.d2h > 0.0 && e.host > 0.0, "equal-nnz must pay the merge round trip");
+    assert!(
+        e.d2h > 0.0 && e.host > 0.0,
+        "equal-nnz must pay the merge round trip"
+    );
 }
