@@ -1,23 +1,28 @@
-//! Benchmark snapshot: quick wall-clock baselines for the five Criterion
+//! Benchmark snapshot: quick wall-clock baselines for the six Criterion
 //! bench areas (elementwise kernel, partitioning, formats, atomics, ring
-//! all-gather), emitted through [`amped_bench::reportio`] so successive PRs
+//! all-gather, out-of-core streaming), emitted through [`amped_bench::reportio`] so successive PRs
 //! have a comparable perf trajectory.
 //!
-//! Usage: `cargo run --release -p amped-bench --bin bench_snapshot [label]`
+//! Usage: `cargo run --release -p amped-bench --bin bench_snapshot [out.json]`
 //!
-//! Writes `results/BENCH_<label>.csv` and `results/BENCH_<label>.json`
-//! (default label `snapshot`) and prints the Markdown table. Each entry is
-//! the median of five timed repetitions after one warm-up, so a snapshot
-//! finishes in seconds — it is a trend line, not a statistics engine; use
+//! Writes the snapshot to the given output path (default `BENCH_seed.json`
+//! in the working directory) plus the sibling `.csv`, and prints the
+//! Markdown table. Passing a path lets a PR commit its own snapshot (e.g.
+//! `BENCH_pr2.json`) without overwriting the committed baseline — see the
+//! trajectory convention in README.md. Each entry is the median of five
+//! timed repetitions after one warm-up, so a snapshot finishes in seconds —
+//! it is a trend line, not a statistics engine; use
 //! `cargo bench -p amped-bench` for careful measurements.
 
 use amped_bench::reportio::{emit, Table};
 use amped_core::reference::{mttkrp_par, mttkrp_ref};
+use amped_core::{AmpedConfig, AmpedEngine, OocEngine};
 use amped_formats::{CsfTensor, HicooTensor, LinTensor};
 use amped_linalg::Mat;
 use amped_partition::{chains_on_chains, ModePlan, PartitionPlan};
 use amped_sim::collective::{ring_allgather, ring_allgather_time};
-use amped_sim::{atomic_add_f32, AtomicMat, LinkSpec};
+use amped_sim::{atomic_add_f32, AtomicMat, LinkSpec, PlatformSpec};
+use amped_stream::write_tnsb;
 use amped_tensor::gen::GenSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -47,9 +52,25 @@ fn throughput_cell(elems: Option<u64>, secs: f64) -> String {
 }
 
 fn main() {
-    let label = std::env::args()
+    // Output path: `<dir>/<name>.json` (the `.csv` sibling lands next to it).
+    let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "snapshot".to_string());
+        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let out = Path::new(&out);
+    assert!(
+        out.extension().is_some_and(|e| e == "json"),
+        "output path must end in .json, got {}",
+        out.display()
+    );
+    let name = out
+        .file_stem()
+        .expect("output path has a file name")
+        .to_string_lossy()
+        .into_owned();
+    let out_dir = out
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."));
     const REPS: usize = 5;
     let mut table = Table::new(&["benchmark", "median", "throughput"]);
     let mut push = |name: &str, secs: f64, elems: Option<u64>| {
@@ -245,13 +266,68 @@ fn main() {
         );
     }
 
+    // 6. Out-of-core streaming (stream bench): chunked `.tnsb` write and one
+    //    out-of-core MTTKRP through a bounded staging budget, next to the
+    //    in-core engine on the same tensor and platform.
+    {
+        let t = GenSpec {
+            shape: vec![8_000, 2_000, 2_000],
+            nnz: 150_000,
+            skew: vec![0.7, 0.4, 0.0],
+            seed: 13,
+        }
+        .generate();
+        let nnz = t.nnz() as u64;
+        let rank = 32;
+        let mut rng = SmallRng::seed_from_u64(14);
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
+        let platform = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+        let cfg = AmpedConfig {
+            rank,
+            isp_nnz: 4096,
+            shard_nnz_budget: 1 << 16,
+            ..AmpedConfig::default()
+        };
+        let dir = std::env::temp_dir().join("amped_bench_snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.tnsb");
+        push(
+            "stream/write_tnsb/150k",
+            median_secs(REPS, || {
+                write_tnsb(&t, &path, 16 * 1024).unwrap();
+            }),
+            Some(nnz),
+        );
+        let mut in_core = AmpedEngine::new(&t, platform.clone(), cfg.clone()).unwrap();
+        push(
+            "stream/in_core_mttkrp/150k",
+            median_secs(REPS, || {
+                in_core.mttkrp_mode(0, &factors).unwrap();
+            }),
+            Some(nnz),
+        );
+        let mut ooc = OocEngine::open(&path, platform, cfg, 1 << 20).unwrap();
+        push(
+            "stream/ooc_mttkrp/150k",
+            median_secs(REPS, || {
+                ooc.mttkrp_mode(0, &factors).unwrap();
+            }),
+            Some(nnz),
+        );
+        std::fs::remove_file(path).ok();
+    }
+
     emit(
-        Path::new("results"),
-        &format!("BENCH_{label}"),
-        &format!("Benchmark snapshot `{label}` (median of {REPS} reps)"),
+        out_dir,
+        &name,
+        &format!("Benchmark snapshot `{name}` (median of {REPS} reps)"),
         &table,
         serde_json::json!({
-            "label": label,
+            "label": name,
             "reps": REPS,
             "method": "median wall time after one warm-up",
         }),

@@ -6,8 +6,12 @@
 //! `Â_d = M (⊛_{w≠d} A_wᵀA_w)⁻¹`, normalize columns into λ, and continue.
 //! The tiny `R × R` solve runs on the host (its cost is negligible next to
 //! MTTKRP — which is exactly why MTTKRP is the bottleneck worth a paper).
+//!
+//! The loop is generic over [`MttkrpEngine`], so the same ALS drives the
+//! in-core [`crate::engine::AmpedEngine`] and the out-of-core
+//! [`crate::ooc::OocEngine`].
 
-use crate::engine::AmpedEngine;
+use crate::engine::MttkrpEngine;
 use amped_linalg::{cholesky, hadamard_grams, model_norm_sq, Mat};
 use amped_sim::metrics::RunReport;
 use amped_sim::SimError;
@@ -54,11 +58,11 @@ pub struct AlsResult {
 
 /// Runs CP-ALS using `engine` for every MTTKRP. The tensor and rank are the
 /// ones the engine was built with.
-pub fn cp_als(engine: &mut AmpedEngine, opts: &AlsOptions) -> Result<AlsResult, SimError> {
-    let rank = engine.config().rank;
-    let shape: Vec<u32> = engine.plan().modes[0].tensor.shape().to_vec();
+pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsResult, SimError> {
+    let rank = engine.rank();
+    let shape: Vec<u32> = engine.shape().to_vec();
     let n = shape.len();
-    let norm_x_sq = engine.plan().modes[0].tensor.norm_sq();
+    let norm_x_sq = engine.tensor_norm_sq();
     let norm_x = norm_x_sq.sqrt();
 
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -71,7 +75,7 @@ pub fn cp_als(engine: &mut AmpedEngine, opts: &AlsOptions) -> Result<AlsResult, 
 
     let mut report = RunReport {
         preprocess_wall: engine.preprocess_wall(),
-        per_gpu: vec![Default::default(); engine.spec().num_gpus()],
+        per_gpu: vec![Default::default(); engine.num_gpus()],
         ..Default::default()
     };
     let mut fits = Vec::new();
@@ -139,6 +143,7 @@ pub fn cp_als(engine: &mut AmpedEngine, opts: &AlsOptions) -> Result<AlsResult, 
 mod tests {
     use super::*;
     use crate::config::AmpedConfig;
+    use crate::engine::AmpedEngine;
     use amped_sim::PlatformSpec;
     use amped_tensor::gen::{low_rank, low_rank_dense};
 

@@ -8,7 +8,7 @@ use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
 use amped_sim::smexec::{list_schedule_makespan, run_grid};
 use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
-use amped_tensor::SparseTensor;
+use amped_tensor::{Idx, SparseTensor};
 use std::ops::Range;
 
 /// Timing of one output-mode MTTKRP (one pass of Algorithm 1's loop body).
@@ -20,6 +20,32 @@ pub struct ModeTiming {
     pub wall: f64,
     /// Per-GPU breakdown (compute, exposed h2d, p2p, idle).
     pub per_gpu: Vec<TimeBreakdown>,
+}
+
+/// The engine interface CP-ALS drives: one MTTKRP per output mode plus the
+/// tensor and platform facts the outer loop needs. Implemented by the
+/// in-core [`AmpedEngine`] and the out-of-core [`crate::ooc::OocEngine`], so
+/// [`crate::als::cp_als`] runs unchanged on tensors that fit in host memory
+/// and on tensors that only exist as `.tnsb` chunks on disk.
+pub trait MttkrpEngine {
+    /// Runs MTTKRP for output mode `d`: returns the updated output factor
+    /// `Ŷ_d` and the mode's simulated timing.
+    fn mttkrp_mode(&mut self, d: usize, factors: &[Mat]) -> Result<(Mat, ModeTiming), SimError>;
+
+    /// Factor-matrix rank the engine was configured with.
+    fn rank(&self) -> usize;
+
+    /// Mode sizes of the decomposed tensor.
+    fn shape(&self) -> &[Idx];
+
+    /// `‖X‖²` of the decomposed tensor (for the CP fit).
+    fn tensor_norm_sq(&self) -> f64;
+
+    /// Number of simulated GPUs.
+    fn num_gpus(&self) -> usize;
+
+    /// Real wall-clock seconds spent in preprocessing (partition planning).
+    fn preprocess_wall(&self) -> f64;
 }
 
 /// One inter-shard partition prepared for execution.
@@ -428,6 +454,32 @@ impl AmpedEngine {
             report.total_time += timing.wall;
         }
         Ok(report)
+    }
+}
+
+impl MttkrpEngine for AmpedEngine {
+    fn mttkrp_mode(&mut self, d: usize, factors: &[Mat]) -> Result<(Mat, ModeTiming), SimError> {
+        AmpedEngine::mttkrp_mode(self, d, factors)
+    }
+
+    fn rank(&self) -> usize {
+        self.cfg.rank
+    }
+
+    fn shape(&self) -> &[Idx] {
+        self.plan.modes[0].tensor.shape()
+    }
+
+    fn tensor_norm_sq(&self) -> f64 {
+        self.plan.modes[0].tensor.norm_sq()
+    }
+
+    fn num_gpus(&self) -> usize {
+        self.spec.num_gpus()
+    }
+
+    fn preprocess_wall(&self) -> f64 {
+        self.plan.preprocess_wall
     }
 }
 

@@ -49,7 +49,9 @@
 pub mod als;
 pub mod config;
 pub mod engine;
+pub mod ooc;
 pub mod reference;
 
 pub use config::{AmpedConfig, GatherAlgo, SchedulePolicy};
-pub use engine::{AmpedEngine, ModeTiming};
+pub use engine::{AmpedEngine, ModeTiming, MttkrpEngine};
+pub use ooc::OocEngine;

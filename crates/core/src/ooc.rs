@@ -1,0 +1,476 @@
+//! Out-of-core execution mode: MTTKRP/ALS over `.tnsb` chunks on disk.
+//!
+//! The in-core [`crate::engine::AmpedEngine`] keeps one mode-sorted tensor
+//! copy per mode in host memory. [`OocEngine`] instead drives the
+//! `amped-stream` pipeline: the tensor lives on disk as fixed-capacity
+//! chunks, a bounded host staging budget (an [`amped_sim::MemPool`]) holds
+//! one chunk at a time, and each chunk is scattered host→GPU with every GPU
+//! pulling the slice whose output rows it owns (the streaming plan's CCP
+//! device ranges guarantee no output row spans two GPUs, so intra-GPU
+//! atomics still suffice). Timing reuses the same cost model as the in-core
+//! engine plus the [`host_staged_scatter_time`] staging stage; chunk
+//! payloads arrive unsorted by output index, so slices pay the
+//! atomic-serialization cost the in-core engine's sorted copies avoid —
+//! out-of-core trades compute efficiency for the ability to run at all.
+//!
+//! Every chunk load and release goes through the staging [`MemPool`], so a
+//! tensor too large for the *budget* still decomposes (chunks rotate through
+//! the staging area), while a budget too small for even one chunk fails
+//! with the same out-of-memory arithmetic as every other capacity limit in
+//! the simulator.
+
+use crate::config::{AmpedConfig, GatherAlgo, SchedulePolicy};
+use crate::engine::{ModeTiming, MttkrpEngine};
+use amped_linalg::Mat;
+use amped_partition::{isp_ranges, ShardStats};
+use amped_sim::collective::{
+    host_staged_gather_time, host_staged_scatter_time, ring_allgather_time,
+};
+use amped_sim::costmodel::{BlockStats, CostModel};
+use amped_sim::smexec::run_grid;
+use amped_sim::{AtomicMat, LinkSpec, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_stream::{ChunkReader, StreamPlan, TnsbMeta};
+use amped_tensor::Idx;
+use std::path::Path;
+
+/// The out-of-core AMPED engine: same algorithmic skeleton as the in-core
+/// engine (mode loop → scatter/stream → grids → barrier → all-gather), but
+/// the tensor is a `.tnsb` file and host memory holds at most the staging
+/// budget's worth of nonzeros.
+#[derive(Debug)]
+pub struct OocEngine {
+    spec: PlatformSpec,
+    cost: CostModel,
+    cfg: AmpedConfig,
+    reader: ChunkReader,
+    plan: StreamPlan,
+    gpu_mem: Vec<MemPool>,
+    host_mem: MemPool,
+}
+
+impl OocEngine {
+    /// Opens a `.tnsb` tensor for out-of-core decomposition on `platform`.
+    ///
+    /// `stage_budget_bytes` is the host staging area chunks rotate through;
+    /// it is charged against the platform's host memory pool, and chunk
+    /// loads are charged against it. Fails with
+    /// [`SimError::OutOfMemory`] when a GPU cannot hold its factor copies
+    /// plus the double-buffered chunk staging area, when the host cannot
+    /// hold the budget, or when the budget cannot hold one chunk plus its
+    /// partitioning scratch; I/O and format failures surface as
+    /// [`SimError::Unsupported`].
+    pub fn open(
+        path: impl AsRef<Path>,
+        platform: PlatformSpec,
+        cfg: AmpedConfig,
+        stage_budget_bytes: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Unsupported)?;
+        if cfg.schedule != SchedulePolicy::StaticCcp {
+            return Err(SimError::Unsupported(
+                "out-of-core execution requires the static CCP schedule: chunk routing is \
+                 fixed by output-row ownership"
+                    .into(),
+            ));
+        }
+        let stage = MemPool::new("host-stage", stage_budget_bytes);
+        let mut reader = ChunkReader::open(path.as_ref(), stage).map_err(|e| e.into_sim())?;
+        let meta = reader.meta();
+        let m = platform.num_gpus();
+
+        // --- GPU memory: factor copies (§4.4) plus a double-buffered chunk
+        // staging area — a GPU may receive a whole chunk in the worst case.
+        let factor_bytes: u64 = meta
+            .shape
+            .iter()
+            .map(|&d| d as u64 * cfg.rank as u64 * 4)
+            .sum();
+        let chunk_buffer = 2 * meta.chunk_capacity * meta.elem_bytes();
+        let mut gpu_mem = Vec::with_capacity(m);
+        for (g, gs) in platform.gpus.iter().enumerate() {
+            let mut pool = MemPool::new(format!("gpu{g}"), gs.mem_bytes);
+            pool.alloc(factor_bytes)?;
+            pool.alloc(chunk_buffer)?;
+            gpu_mem.push(pool);
+        }
+
+        // --- Host memory: only the staging budget is resident (that is the
+        // point), charged so a budget larger than the host fails loudly.
+        let mut host_mem = MemPool::new("host", platform.host.mem_bytes);
+        host_mem.alloc(stage_budget_bytes)?;
+
+        // --- Streaming two-pass plan through the budget.
+        let gpu = &platform.gpus[0];
+        let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
+        let plan = StreamPlan::build(&mut reader, m, cache_rows).map_err(|e| e.into_sim())?;
+
+        Ok(Self {
+            spec: platform,
+            cost: CostModel::default(),
+            cfg,
+            reader,
+            plan,
+            gpu_mem,
+            host_mem,
+        })
+    }
+
+    /// The streaming partition plan.
+    pub fn plan(&self) -> &StreamPlan {
+        &self.plan
+    }
+
+    /// The on-disk tensor's metadata.
+    pub fn meta(&self) -> &TnsbMeta {
+        self.reader.meta()
+    }
+
+    /// The platform specification.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &AmpedConfig {
+        &self.cfg
+    }
+
+    /// Peak GPU memory charged, in bytes (max over GPUs).
+    pub fn gpu_mem_peak(&self) -> u64 {
+        self.gpu_mem.iter().map(|p| p.peak()).max().unwrap_or(0)
+    }
+
+    /// Host memory charged (the staging budget reservation).
+    pub fn host_mem_used(&self) -> u64 {
+        self.host_mem.used()
+    }
+
+    /// High-water mark of the staging budget actually used by chunk loads.
+    pub fn stage_peak(&self) -> u64 {
+        self.reader.budget().peak()
+    }
+
+    fn h2d_link(&self, active: usize) -> LinkSpec {
+        LinkSpec {
+            gbps: self.spec.h2d_effective_gbps(active),
+            latency_s: self.spec.pcie.latency_s,
+        }
+    }
+
+    /// Simulated grid time of one per-GPU chunk slice: the slice splits into
+    /// `⌈nnz / isp_nnz⌉` equal ISP blocks (unsorted payload → per-element
+    /// atomics), list-scheduled onto the GPU's SMs.
+    fn slice_time(&self, stats: &ShardStats, order: usize, elem_bytes: u64) -> f64 {
+        if stats.nnz == 0 {
+            return 0.0;
+        }
+        let gpu = &self.spec.gpus[0];
+        let blocks = (stats.nnz as usize).div_ceil(self.cfg.isp_nnz).max(1) as u64;
+        let per_block = BlockStats {
+            nnz: stats.nnz.div_ceil(blocks),
+            distinct_out: stats.distinct_out.div_ceil(blocks).max(1),
+            max_out_run: stats.max_out_run.min(stats.nnz.div_ceil(blocks)),
+            distinct_in_total: stats.distinct_in_total.div_ceil(blocks).max(1),
+            dram_factor_reads: stats.dram_factor_reads.div_ceil(blocks),
+            sorted_by_output: false, // chunk payloads arrive in file order
+            order,
+            rank: self.cfg.rank,
+            elem_bytes,
+        };
+        let concurrency = (blocks as usize).min(gpu.sms);
+        let block_cost = self.cost.block_time(gpu, &per_block, 1.0, concurrency);
+        // Equal blocks list-scheduled on `sms` SMs: ⌈blocks / sms⌉ rounds.
+        block_cost * (blocks as usize).div_ceil(gpu.sms) as f64
+    }
+
+    /// Runs MTTKRP for output mode `d` out of core: chunks stream from disk
+    /// through the staging budget, scatter host→GPU, and execute as grids of
+    /// ISP blocks; updated rows travel through the configured all-gather.
+    pub fn mttkrp_mode(
+        &mut self,
+        d: usize,
+        factors: &[Mat],
+    ) -> Result<(Mat, ModeTiming), SimError> {
+        let order = self.reader.meta().order();
+        assert!(d < order, "mode {d} out of range");
+        assert_eq!(factors.len(), order, "one factor matrix per mode");
+        let rank = self.cfg.rank;
+        assert!(
+            factors.iter().all(|f| f.cols() == rank),
+            "factor rank must match engine configuration"
+        );
+        let m = self.spec.num_gpus();
+        let elem_bytes = self.reader.meta().elem_bytes();
+        let rows_out = self.reader.meta().shape[d] as usize;
+        let num_chunks = self.reader.meta().num_chunks();
+        let mp = &self.plan.modes[d];
+        let loads = mp.gpu_loads();
+        let active = loads.iter().filter(|&&l| l > 0).count().max(1);
+        let link = self.h2d_link(active);
+        let out = AtomicMat::zeros(rows_out, rank);
+
+        // --- Per-chunk slice times and scatter times (cost model).
+        let mut scatter = Vec::with_capacity(num_chunks);
+        let mut compute = vec![vec![0.0f64; num_chunks]; m];
+        for (k, route) in mp.chunks.iter().enumerate() {
+            let slice_bytes: Vec<u64> = route.per_gpu.iter().map(|s| s.nnz * elem_bytes).collect();
+            scatter.push(host_staged_scatter_time(&link, &slice_bytes));
+            for (g, stats) in route.per_gpu.iter().enumerate() {
+                compute[g][k] = self.slice_time(stats, order, elem_bytes);
+            }
+        }
+
+        // --- Double-buffered pipeline: the scatter of chunk k+1 overlaps
+        // compute of chunk k; scatter k must wait until every GPU has
+        // finished chunk k−2 (its staging buffer frees then).
+        let mut scatter_end = vec![0.0f64; num_chunks];
+        let mut compute_end = vec![vec![0.0f64; num_chunks]; m];
+        for k in 0..num_chunks {
+            let prev_scatter = if k > 0 { scatter_end[k - 1] } else { 0.0 };
+            let buffer_free = if k >= 2 {
+                (0..m).map(|g| compute_end[g][k - 2]).fold(0.0f64, f64::max)
+            } else {
+                0.0
+            };
+            scatter_end[k] = prev_scatter.max(buffer_free) + scatter[k];
+            for g in 0..m {
+                let prev = if k > 0 { compute_end[g][k - 1] } else { 0.0 };
+                compute_end[g][k] = prev.max(scatter_end[k]) + compute[g][k];
+            }
+        }
+
+        // --- Real execution: stream every chunk once through the staging
+        // budget and run the elementwise computation (Algorithm 2) as a grid
+        // of ISP blocks. Output rows are owned by exactly one GPU, so the
+        // atomic updates mirror the intra-GPU-only conflicts of the paper.
+        let gpu_sms = self.spec.gpus[0].sms;
+        for k in 0..num_chunks {
+            let chunk = self.reader.load_chunk(k).map_err(|e| e.into_sim())?;
+            let isps = isp_ranges(0..chunk.nnz(), self.cfg.isp_nnz);
+            run_grid(
+                gpu_sms,
+                isps.len(),
+                |b| {
+                    let mut prod = vec![0.0f32; rank];
+                    for e in isps[b].clone() {
+                        let coords = chunk.coords(e);
+                        prod.fill(chunk.value(e));
+                        for (w, f) in factors.iter().enumerate() {
+                            if w == d {
+                                continue;
+                            }
+                            let row = f.row(coords[w] as usize);
+                            for (p, &x) in prod.iter_mut().zip(row) {
+                                *p *= x;
+                            }
+                        }
+                        let i = coords[d] as usize;
+                        for (c, &p) in prod.iter().enumerate() {
+                            out.add(i, c, p);
+                        }
+                    }
+                },
+                |_| 0.0, // simulated time comes from the slice model above
+            );
+            self.reader.release(chunk);
+        }
+
+        // --- Barrier + per-GPU breakdown.
+        let ends: Vec<f64> = (0..m)
+            .map(|g| compute_end[g].last().copied().unwrap_or(0.0))
+            .collect();
+        let barrier = ends.iter().cloned().fold(0.0f64, f64::max);
+        let mut per_gpu = vec![TimeBreakdown::default(); m];
+        for g in 0..m {
+            let busy: f64 = compute[g].iter().sum();
+            per_gpu[g].compute = busy;
+            per_gpu[g].h2d = (ends[g] - busy).max(0.0);
+            per_gpu[g].idle += barrier - ends[g];
+        }
+
+        // --- All-gather of the updated output rows (Algorithm 1 line 11).
+        let row_bytes = rank as u64 * 4;
+        let block_bytes: Vec<u64> = mp.gpu_rows().iter().map(|&r| r * row_bytes).collect();
+        let gather_time = match self.cfg.gather {
+            GatherAlgo::Ring => ring_allgather_time(&self.spec.p2p, &block_bytes),
+            GatherAlgo::HostStaged => host_staged_gather_time(&self.spec.pcie, &block_bytes),
+        };
+        for b in per_gpu.iter_mut() {
+            b.p2p += gather_time;
+        }
+
+        let result = Mat::from_vec(rows_out, rank, out.to_vec());
+        let timing = ModeTiming {
+            mode: d,
+            wall: barrier + gather_time,
+            per_gpu,
+        };
+        Ok((result, timing))
+    }
+}
+
+impl MttkrpEngine for OocEngine {
+    fn mttkrp_mode(&mut self, d: usize, factors: &[Mat]) -> Result<(Mat, ModeTiming), SimError> {
+        OocEngine::mttkrp_mode(self, d, factors)
+    }
+
+    fn rank(&self) -> usize {
+        self.cfg.rank
+    }
+
+    fn shape(&self) -> &[Idx] {
+        &self.reader.meta().shape
+    }
+
+    fn tensor_norm_sq(&self) -> f64 {
+        self.reader.meta().norm_sq
+    }
+
+    fn num_gpus(&self) -> usize {
+        self.spec.num_gpus()
+    }
+
+    fn preprocess_wall(&self) -> f64 {
+        self.plan.preprocess_wall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::mttkrp_ref;
+    use amped_stream::write_tnsb;
+    use amped_tensor::gen::GenSpec;
+    use amped_tensor::SparseTensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("amped_ooc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn platform(m: usize) -> PlatformSpec {
+        PlatformSpec::rtx6000_ada_node(m).scaled(1e-3)
+    }
+
+    fn factors(t: &SparseTensor, r: usize, seed: u64) -> Vec<Mat> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        t.shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, r, &mut rng))
+            .collect()
+    }
+
+    fn cfg(r: usize) -> AmpedConfig {
+        AmpedConfig {
+            rank: r,
+            isp_nnz: 256,
+            shard_nnz_budget: 1024,
+            ..Default::default()
+        }
+    }
+
+    /// Staging budget comfortably holding one chunk + partitioning scratch.
+    fn budget_for(t: &SparseTensor, cap: usize) -> u64 {
+        cap as u64 * (t.elem_bytes() + t.order() as u64 * 4) * 2
+    }
+
+    #[test]
+    fn ooc_matches_reference_all_modes() {
+        let t = GenSpec {
+            shape: vec![80, 60, 70],
+            nnz: 5000,
+            skew: vec![0.8, 0.0, 0.4],
+            seed: 81,
+        }
+        .generate();
+        let path = tmp("ref.tnsb");
+        write_tnsb(&t, &path, 512).unwrap();
+        let fs = factors(&t, 16, 82);
+        let mut e = OocEngine::open(&path, platform(4), cfg(16), budget_for(&t, 512)).unwrap();
+        for d in 0..3 {
+            let (out, timing) = e.mttkrp_mode(d, &fs).unwrap();
+            let want = mttkrp_ref(&t, &fs, d);
+            assert!(
+                out.approx_eq(&want, 1e-3, 1e-4),
+                "mode {d}: max diff {}",
+                out.max_abs_diff(&want)
+            );
+            assert!(timing.wall > 0.0);
+            assert_eq!(timing.per_gpu.len(), 4);
+        }
+        assert_eq!(e.reader.budget().used(), 0, "all chunks must be released");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ooc_matches_reference_5mode() {
+        let t = GenSpec::uniform(vec![20, 24, 28, 16, 12], 2000, 83).generate();
+        let path = tmp("ref5.tnsb");
+        write_tnsb(&t, &path, 300).unwrap();
+        let fs = factors(&t, 8, 84);
+        let mut e = OocEngine::open(&path, platform(3), cfg(8), budget_for(&t, 300)).unwrap();
+        for d in 0..5 {
+            let (out, _) = e.mttkrp_mode(d, &fs).unwrap();
+            assert!(
+                out.approx_eq(&mttkrp_ref(&t, &fs, d), 1e-3, 1e-4),
+                "mode {d}"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulated_time_is_deterministic_and_positive() {
+        let t = GenSpec::uniform(vec![50, 50, 50], 3000, 91).generate();
+        let path = tmp("det.tnsb");
+        write_tnsb(&t, &path, 256).unwrap();
+        let fs = factors(&t, 8, 92);
+        let b = budget_for(&t, 256);
+        let mut e1 = OocEngine::open(&path, platform(4), cfg(8), b).unwrap();
+        let mut e2 = OocEngine::open(&path, platform(4), cfg(8), b).unwrap();
+        let (_, t1) = e1.mttkrp_mode(0, &fs).unwrap();
+        let (_, t2) = e2.mttkrp_mode(0, &fs).unwrap();
+        assert_eq!(t1.wall, t2.wall);
+        assert!(t1.wall > 0.0);
+        for (a, b) in t1.per_gpu.iter().zip(&t2.per_gpu) {
+            assert_eq!(a.compute, b.compute);
+            assert_eq!(a.h2d, b.h2d);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stage_budget_too_small_for_one_chunk_is_oom() {
+        let t = GenSpec::uniform(vec![30, 30, 30], 2000, 93).generate();
+        let path = tmp("oom.tnsb");
+        write_tnsb(&t, &path, 1024).unwrap();
+        let err = OocEngine::open(&path, platform(2), cfg(8), 100).unwrap_err();
+        assert!(err.is_oom(), "expected OOM, got {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dynamic_queue_schedule_is_unsupported() {
+        let t = GenSpec::uniform(vec![20, 20, 20], 500, 94).generate();
+        let path = tmp("sched.tnsb");
+        write_tnsb(&t, &path, 256).unwrap();
+        let c = AmpedConfig {
+            schedule: SchedulePolicy::DynamicQueue,
+            ..cfg(8)
+        };
+        let err = OocEngine::open(&path, platform(2), c, budget_for(&t, 256)).unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_unsupported_not_panic() {
+        let err =
+            OocEngine::open("/nonexistent/amped.tnsb", platform(1), cfg(8), 1 << 20).unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)), "{err}");
+    }
+}

@@ -36,11 +36,48 @@ impl ShardStats {
         elem_range: Range<usize>,
         cache_rows: usize,
     ) -> Self {
-        let k = elem_range.len();
+        Self::compute_with(
+            elem_range.len(),
+            t.order(),
+            |e, m| t.idx(elem_range.start + e, m),
+            d,
+            cache_rows,
+        )
+    }
+
+    /// Computes the statistics of a raw element-major coordinate slice
+    /// (`k × order`, the layout of [`SparseTensor::indices_flat`] and of
+    /// on-disk chunk payloads) without materializing a tensor. This is what
+    /// the out-of-core streaming partitioner calls on per-GPU chunk slices,
+    /// where building a `SparseTensor` copy would double the host-memory
+    /// footprint of the staging budget.
+    pub fn compute_from_coords(coords: &[Idx], order: usize, d: usize, cache_rows: usize) -> Self {
+        assert!(order > 0, "order must be positive");
+        assert!(
+            coords.len().is_multiple_of(order),
+            "coords must be k × order"
+        );
+        Self::compute_with(
+            coords.len() / order,
+            order,
+            |e, m| coords[e * order + m],
+            d,
+            cache_rows,
+        )
+    }
+
+    /// Shared counting core over an indexed coordinate accessor.
+    fn compute_with(
+        k: usize,
+        order: usize,
+        idx: impl Fn(usize, usize) -> Idx,
+        d: usize,
+        cache_rows: usize,
+    ) -> Self {
         if k == 0 {
             return Self::default();
         }
-        let mut out: Vec<Idx> = elem_range.clone().map(|e| t.idx(e, d)).collect();
+        let mut out: Vec<Idx> = (0..k).map(|e| idx(e, d)).collect();
         out.sort_unstable();
         let mut distinct_out = 0u64;
         let mut max_out_run = 0u64;
@@ -59,12 +96,12 @@ impl ShardStats {
         let mut distinct_in_total = 0u64;
         let mut row_counts: Vec<u32> = Vec::new();
         let mut scratch: Vec<Idx> = Vec::with_capacity(k);
-        for w in 0..t.order() {
+        for w in 0..order {
             if w == d {
                 continue;
             }
             scratch.clear();
-            scratch.extend(elem_range.clone().map(|e| t.idx(e, w)));
+            scratch.extend((0..k).map(|e| idx(e, w)));
             scratch.sort_unstable();
             let mut i = 0;
             while i < scratch.len() {
@@ -336,6 +373,19 @@ mod tests {
         let s = ShardStats::compute(&t, 1, 0..2, usize::MAX);
         assert_eq!(s.distinct_out, 1);
         assert_eq!(s.distinct_in_total, 2); // mode 0 has {0, 1}
+    }
+
+    #[test]
+    fn stats_from_raw_coords_match_tensor_path() {
+        let t = tensor();
+        for d in 0..3 {
+            for range in [0..t.nnz(), 100..900, 37..38] {
+                let via_tensor = ShardStats::compute(&t, d, range.clone(), 64);
+                let flat = &t.indices_flat()[range.start * t.order()..range.end * t.order()];
+                let via_coords = ShardStats::compute_from_coords(flat, t.order(), d, 64);
+                assert_eq!(via_tensor, via_coords, "mode {d}, range {range:?}");
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,20 @@ pub fn host_staged_gather_time(pcie: &LinkSpec, block_bytes: &[u64]) -> f64 {
     upload + download
 }
 
+/// Simulated time of a host-staged *scatter* — the mirror image of
+/// [`host_staged_gather_time`], used by the out-of-core streaming pipeline:
+/// the host holds one tensor chunk and each GPU pulls its slice
+/// (`block_bytes[g]`) over its own PCIe link concurrently, so the stage
+/// costs the slowest slice in flight. GPUs with nothing to receive from this
+/// chunk cost nothing (they do not even pay link latency).
+pub fn host_staged_scatter_time(pcie: &LinkSpec, block_bytes: &[u64]) -> f64 {
+    block_bytes
+        .iter()
+        .filter(|&&b| b > 0)
+        .map(|&b| pcie.transfer_time(b))
+        .fold(0.0f64, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +187,23 @@ mod tests {
             ring < staged,
             "ring {ring} should beat host-staged {staged}"
         );
+    }
+
+    #[test]
+    fn scatter_costs_slowest_slice_and_skips_empty() {
+        let pcie = LinkSpec {
+            gbps: 1.0,
+            latency_s: 0.0,
+        };
+        // Slices transfer concurrently: 2 GB dominates.
+        let t = host_staged_scatter_time(&pcie, &[1_000_000_000, 2_000_000_000]);
+        assert!((t - 2.0).abs() < 1e-9, "got {t}");
+        // Empty slices are free, even with nonzero link latency.
+        let lat = LinkSpec {
+            gbps: 1.0,
+            latency_s: 0.5,
+        };
+        assert_eq!(host_staged_scatter_time(&lat, &[0, 0]), 0.0);
+        assert_eq!(host_staged_scatter_time(&lat, &[]), 0.0);
     }
 }

@@ -1,0 +1,129 @@
+//! Errors of the out-of-core pipeline.
+
+use amped_sim::SimError;
+use amped_tensor::io::TnsError;
+use std::path::PathBuf;
+
+/// Errors surfaced by the `.tnsb` format, the chunk reader, and the
+/// streaming partitioner.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying I/O failure, with the file it happened on.
+    Io {
+        /// File being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A structurally invalid `.tnsb` file (bad magic, truncated payload,
+    /// out-of-range coordinates, …).
+    Format {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A `.tns` text parse failure during conversion.
+    Tns(TnsError),
+    /// A simulated-platform failure — in this crate always
+    /// [`SimError::OutOfMemory`] from the host staging budget.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StreamError::Format { path, msg } => {
+                write!(f, "invalid .tnsb file {}: {msg}", path.display())
+            }
+            StreamError::Tns(e) => write!(f, ".tns parse error: {e}"),
+            StreamError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io { source, .. } => Some(source),
+            StreamError::Tns(e) => Some(e),
+            StreamError::Sim(e) => Some(e),
+            StreamError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<TnsError> for StreamError {
+    fn from(e: TnsError) -> Self {
+        StreamError::Tns(e)
+    }
+}
+
+impl From<SimError> for StreamError {
+    fn from(e: SimError) -> Self {
+        StreamError::Sim(e)
+    }
+}
+
+impl StreamError {
+    /// Wraps an I/O error with the file it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StreamError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a format error for `path`.
+    pub fn format(path: impl Into<PathBuf>, msg: impl Into<String>) -> Self {
+        StreamError::Format {
+            path: path.into(),
+            msg: msg.into(),
+        }
+    }
+
+    /// True if this is a host-staging-budget out-of-memory failure.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, StreamError::Sim(e) if e.is_oom())
+    }
+
+    /// Converts into a [`SimError`] for callers living inside the simulated
+    /// platform (the out-of-core engine): budget failures pass through,
+    /// everything else becomes an [`SimError::Unsupported`] runtime error.
+    pub fn into_sim(self) -> SimError {
+        match self {
+            StreamError::Sim(e) => e,
+            other => SimError::Unsupported(format!("stream pipeline: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file() {
+        let e = StreamError::format("/tmp/x.tnsb", "bad magic");
+        assert!(e.to_string().contains("x.tnsb"));
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn oom_passes_through_into_sim() {
+        let oom = SimError::OutOfMemory {
+            device: "host-stage".into(),
+            requested: 10,
+            capacity: 5,
+            in_use: 0,
+        };
+        let e = StreamError::from(oom.clone());
+        assert!(e.is_oom());
+        assert_eq!(e.into_sim(), oom);
+        let fmt = StreamError::format("f", "x").into_sim();
+        assert!(matches!(fmt, SimError::Unsupported(_)));
+    }
+}

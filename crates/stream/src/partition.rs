@@ -1,0 +1,327 @@
+//! Streaming two-pass partitioner: `.tnsb` metadata + one bounded payload
+//! scan → per-mode device ranges and per-chunk GPU routing.
+//!
+//! The in-core [`amped_partition::PartitionPlan`] materializes one
+//! mode-sorted tensor copy per mode — exactly what an out-of-core run cannot
+//! afford. The streaming plan keeps the same partitioning *decisions* while
+//! holding at most one chunk (plus its coordinate scratch) of nonzeros:
+//!
+//! * **Pass 1 — metadata scan.** The `.tnsb` footer already carries the full
+//!   per-mode output-index histograms (accumulated by the writer, which sees
+//!   every element exactly once), so device ranges come from the same
+//!   [`chains_on_chains`] CCP used in-core without touching the payload.
+//! * **Pass 2 — bounded payload scan.** Each chunk is loaded once through
+//!   the reader's staging budget; for every mode, elements are routed to the
+//!   GPU owning their output index (ranges never split an index across
+//!   GPUs, preserving AMPED's no-inter-GPU-conflict invariant) and each
+//!   slice's [`ShardStats`] are computed for the simulator cost model. The
+//!   per-chunk index bounding boxes skip GPUs a chunk cannot touch.
+//!
+//! The result is `O(modes × chunks × gpus)` metadata — independent of nnz —
+//! which is what lets the out-of-core engine decompose tensors larger than
+//! host memory.
+
+use crate::error::StreamError;
+use crate::reader::ChunkReader;
+use amped_partition::{chains_on_chains, ShardStats};
+use amped_tensor::Idx;
+use serde::Serialize;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Routing of one chunk for one output mode: per-GPU slice statistics
+/// (`per_gpu[g].nnz` elements of this chunk update rows owned by GPU `g`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ChunkRoute {
+    /// Chunk index within the file.
+    pub chunk: usize,
+    /// Slice workload statistics, one entry per GPU.
+    pub per_gpu: Vec<ShardStats>,
+}
+
+/// The per-output-mode streaming partition product.
+#[derive(Clone, Debug, Serialize)]
+pub struct StreamModePlan {
+    /// Output mode this plan targets.
+    pub mode: usize,
+    /// GPU count the plan was built for.
+    pub num_gpus: usize,
+    /// Contiguous output-index range owned by each GPU (CCP over the
+    /// footer histogram — identical to the in-core plan's ranges).
+    pub device_ranges: Vec<Range<Idx>>,
+    /// Per-chunk routing, in file order.
+    pub chunks: Vec<ChunkRoute>,
+}
+
+impl StreamModePlan {
+    /// Total nonzeros routed to each GPU.
+    pub fn gpu_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_gpus];
+        for c in &self.chunks {
+            for (g, s) in c.per_gpu.iter().enumerate() {
+                loads[g] += s.nnz;
+            }
+        }
+        loads
+    }
+
+    /// Output rows owned by each GPU.
+    pub fn gpu_rows(&self) -> Vec<u64> {
+        self.device_ranges
+            .iter()
+            .map(|r| (r.end - r.start) as u64)
+            .collect()
+    }
+
+    /// GPU owning output index `i` (ranges are contiguous and ascending).
+    ///
+    /// # Panics
+    /// Panics if `i` lies outside the partitioned index space.
+    pub fn owner_of(&self, i: Idx) -> usize {
+        let g = self.device_ranges.partition_point(|r| r.end <= i);
+        assert!(
+            g < self.device_ranges.len() && self.device_ranges[g].contains(&i),
+            "output index {i} outside the partitioned index space of mode {}",
+            self.mode
+        );
+        g
+    }
+}
+
+/// All-mode streaming partition plan plus the measured preprocessing wall
+/// time (the out-of-core analogue of Fig. 10's quantity).
+#[derive(Clone, Debug, Serialize)]
+pub struct StreamPlan {
+    /// Per-mode plans, index = output mode.
+    pub modes: Vec<StreamModePlan>,
+    /// Real wall-clock seconds spent building the plan.
+    pub preprocess_wall: f64,
+}
+
+impl StreamPlan {
+    /// Builds the plan for every output mode on `num_gpus` GPUs.
+    ///
+    /// `cache_rows` is the number of hot factor rows assumed L2-resident
+    /// when computing slice statistics (pass the GPU's L2 capacity in rows;
+    /// `usize::MAX` disables the cache model).
+    ///
+    /// Host memory held at any instant: one chunk payload + that chunk's
+    /// coordinate scratch, both charged to the reader's staging budget — a
+    /// budget smaller than `chunk payload + chunk coordinates` fails with
+    /// the staging pool's out-of-memory error rather than silently
+    /// overcommitting.
+    pub fn build(
+        reader: &mut ChunkReader,
+        num_gpus: usize,
+        cache_rows: usize,
+    ) -> Result<Self, StreamError> {
+        assert!(num_gpus > 0, "need at least one GPU");
+        let start = Instant::now();
+        let order = reader.meta().order();
+        let num_chunks = reader.meta().num_chunks();
+
+        // --- Pass 1: device ranges from the footer histograms (no payload I/O).
+        let device_ranges: Vec<Vec<Range<Idx>>> = (0..order)
+            .map(|d| chains_on_chains(&reader.meta().hist[d], num_gpus))
+            .collect();
+
+        // --- Pass 2: one bounded scan for per-chunk, per-mode slice stats.
+        let mut modes: Vec<StreamModePlan> = (0..order)
+            .map(|d| StreamModePlan {
+                mode: d,
+                num_gpus,
+                device_ranges: device_ranges[d].clone(),
+                chunks: Vec::with_capacity(num_chunks),
+            })
+            .collect();
+        let mut scratches: Vec<Vec<Idx>> = vec![Vec::new(); num_gpus];
+        for c in 0..num_chunks {
+            let chunk = reader.load_chunk(c)?;
+            let scratch_bytes = (chunk.nnz() * order * 4) as u64;
+            if let Err(e) = reader.charge_scratch(scratch_bytes) {
+                reader.release(chunk);
+                return Err(e);
+            }
+            let meta = reader.meta().chunks[c].clone();
+            for (d, mode_plan) in modes.iter_mut().enumerate() {
+                let ranges = &device_ranges[d];
+                // Bounding-box fast path from the chunk metadata: the whole
+                // chunk inside one GPU's range — stats over the raw payload,
+                // no routing.
+                let sole_owner = ranges
+                    .iter()
+                    .position(|r| meta.mode_min[d] >= r.start && meta.mode_max[d] < r.end);
+                let per_gpu: Vec<ShardStats> = if let Some(owner) = sole_owner {
+                    (0..num_gpus)
+                        .map(|g| {
+                            if g == owner {
+                                ShardStats::compute_from_coords(
+                                    chunk.coords_flat(),
+                                    order,
+                                    d,
+                                    cache_rows,
+                                )
+                            } else {
+                                ShardStats::default()
+                            }
+                        })
+                        .collect()
+                } else {
+                    // One routing pass: bucket each element into its owner's
+                    // scratch (ranges are contiguous and ascending), then
+                    // compute stats per bucket. Total scratch ≤ the chunk's
+                    // own coordinates — within the charged bytes.
+                    for s in scratches.iter_mut() {
+                        s.clear();
+                    }
+                    for e in 0..chunk.nnz() {
+                        let coords = chunk.coords(e);
+                        let g = ranges.partition_point(|r| r.end <= coords[d]);
+                        scratches[g].extend_from_slice(coords);
+                    }
+                    scratches
+                        .iter()
+                        .map(|s| ShardStats::compute_from_coords(s, order, d, cache_rows))
+                        .collect()
+                };
+                mode_plan.chunks.push(ChunkRoute { chunk: c, per_gpu });
+            }
+            reader.release_scratch(scratch_bytes);
+            reader.release(chunk);
+        }
+        Ok(Self {
+            modes,
+            preprocess_wall: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Number of GPUs the plan was built for.
+    pub fn num_gpus(&self) -> usize {
+        self.modes.first().map(|m| m.num_gpus).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::write_tnsb;
+    use amped_partition::ModePlan;
+    use amped_sim::MemPool;
+    use amped_tensor::gen::GenSpec;
+    use amped_tensor::SparseTensor;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("amped_streamplan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn tensor() -> SparseTensor {
+        GenSpec {
+            shape: vec![64, 40, 50],
+            nnz: 3000,
+            skew: vec![0.8, 0.0, 0.0],
+            seed: 7,
+        }
+        .generate()
+    }
+
+    fn plan_of(t: &SparseTensor, name: &str, cap: usize, gpus: usize) -> StreamPlan {
+        let path = tmp(name);
+        write_tnsb(t, &path, cap).unwrap();
+        // Budget: one chunk payload + its coordinate scratch.
+        let budget = cap as u64 * (t.elem_bytes() + t.order() as u64 * 4);
+        let mut r = ChunkReader::open(&path, MemPool::new("host-stage", budget)).unwrap();
+        let plan = StreamPlan::build(&mut r, gpus, usize::MAX).unwrap();
+        assert_eq!(
+            r.budget().used(),
+            0,
+            "plan build must release all staging memory"
+        );
+        std::fs::remove_file(path).ok();
+        plan
+    }
+
+    #[test]
+    fn routes_every_element_exactly_once() {
+        let t = tensor();
+        let plan = plan_of(&t, "cover.tnsb", 256, 4);
+        for mp in &plan.modes {
+            let loads = mp.gpu_loads();
+            assert_eq!(
+                loads.iter().sum::<u64>() as usize,
+                t.nnz(),
+                "mode {}",
+                mp.mode
+            );
+            for route in &mp.chunks {
+                let chunk_total: u64 = route.per_gpu.iter().map(|s| s.nnz).sum();
+                let expected = 256.min(t.nnz() - route.chunk * 256) as u64;
+                assert_eq!(chunk_total, expected, "chunk {}", route.chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn device_ranges_match_in_core_ccp() {
+        let t = tensor();
+        let plan = plan_of(&t, "ccp.tnsb", 512, 3);
+        for d in 0..t.order() {
+            let in_core = ModePlan::build(&t, d, 3, 512);
+            assert_eq!(
+                plan.modes[d].device_ranges, in_core.device_ranges,
+                "mode {d} ranges diverge from the in-core CCP"
+            );
+            assert_eq!(
+                plan.modes[d].gpu_loads(),
+                in_core.gpu_loads(),
+                "mode {d} loads"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_lookup_matches_ranges() {
+        let t = tensor();
+        let plan = plan_of(&t, "owner.tnsb", 300, 4);
+        for mp in &plan.modes {
+            for (g, r) in mp.device_ranges.iter().enumerate() {
+                if r.start < r.end {
+                    assert_eq!(mp.owner_of(r.start), g);
+                    assert_eq!(mp.owner_of(r.end - 1), g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_stats_respect_ownership() {
+        let t = tensor();
+        let plan = plan_of(&t, "stats.tnsb", 200, 2);
+        // Recompute slice nnz directly and compare.
+        for mp in &plan.modes {
+            for route in &mp.chunks {
+                let lo = route.chunk * 200;
+                let hi = (lo + 200).min(t.nnz());
+                for (g, r) in mp.device_ranges.iter().enumerate() {
+                    let want = (lo..hi).filter(|&e| r.contains(&t.idx(e, mp.mode))).count() as u64;
+                    assert_eq!(route.per_gpu[g].nnz, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_budget_fails_with_oom() {
+        let t = tensor();
+        let path = tmp("oom.tnsb");
+        write_tnsb(&t, &path, 512).unwrap();
+        // Payload fits but the gather scratch does not.
+        let mut r =
+            ChunkReader::open(&path, MemPool::new("host-stage", 512 * t.elem_bytes())).unwrap();
+        let err = StreamPlan::build(&mut r, 2, usize::MAX).unwrap_err();
+        assert!(err.is_oom(), "expected staging OOM, got {err}");
+        std::fs::remove_file(path).ok();
+    }
+}

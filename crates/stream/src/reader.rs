@@ -1,0 +1,238 @@
+//! Budgeted chunk reader: disk → bounded host staging memory.
+
+use crate::error::StreamError;
+use crate::format::{read_tnsb_meta, TnsbMeta};
+use amped_sim::MemPool;
+use amped_tensor::{Idx, Val};
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// One resident tensor chunk: decoded coordinates and values plus the bytes
+/// it holds against the reader's staging budget.
+#[derive(Debug)]
+pub struct Chunk {
+    index: usize,
+    order: usize,
+    coords: Vec<Idx>,
+    values: Vec<Val>,
+    bytes: u64,
+}
+
+impl Chunk {
+    /// Chunk index within the file.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Nonzeros in this chunk.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Coordinates of element `e`.
+    pub fn coords(&self, e: usize) -> &[Idx] {
+        &self.coords[e * self.order..(e + 1) * self.order]
+    }
+
+    /// Value of element `e`.
+    pub fn value(&self, e: usize) -> Val {
+        self.values[e]
+    }
+
+    /// The raw element-major coordinate array (`nnz × order`).
+    pub fn coords_flat(&self) -> &[Idx] {
+        &self.coords
+    }
+
+    /// Staging bytes this chunk charges while resident.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Reads `.tnsb` chunks from disk through a bounded host-memory budget.
+///
+/// Every [`ChunkReader::load_chunk`] charges the chunk's payload bytes to
+/// the budget [`MemPool`] and every [`ChunkReader::release`] frees them, so
+/// a pipeline that leaks chunks (or tries to hold more than the budget) gets
+/// the same [`amped_sim::SimError::OutOfMemory`] a real staging allocator
+/// would produce — out-of-core behaviour emerges from capacity arithmetic,
+/// exactly like the GPU/host pools of the in-core engine.
+#[derive(Debug)]
+pub struct ChunkReader {
+    file: File,
+    path: PathBuf,
+    meta: TnsbMeta,
+    budget: MemPool,
+}
+
+impl ChunkReader {
+    /// Opens `path`, reading header + footer metadata only. `budget` is the
+    /// host staging pool chunk loads are charged against.
+    pub fn open(path: impl AsRef<Path>, budget: MemPool) -> Result<Self, StreamError> {
+        let path = path.as_ref().to_path_buf();
+        let meta = read_tnsb_meta(&path)?;
+        let file = File::open(&path).map_err(|e| StreamError::io(&path, e))?;
+        Ok(Self {
+            file,
+            path,
+            meta,
+            budget,
+        })
+    }
+
+    /// File-level metadata (shape, histograms, chunk directory).
+    pub fn meta(&self) -> &TnsbMeta {
+        &self.meta
+    }
+
+    /// The staging budget pool (peak/used introspection).
+    pub fn budget(&self) -> &MemPool {
+        &self.budget
+    }
+
+    /// Charges scratch bytes (beyond chunk payloads) to the staging budget —
+    /// used by the streaming partitioner for its per-slice coordinate
+    /// gather, so *all* transient host memory is accounted.
+    pub fn charge_scratch(&mut self, bytes: u64) -> Result<(), StreamError> {
+        self.budget.alloc(bytes)?;
+        Ok(())
+    }
+
+    /// Releases scratch bytes charged with [`ChunkReader::charge_scratch`].
+    pub fn release_scratch(&mut self, bytes: u64) {
+        self.budget.free(bytes);
+    }
+
+    /// Loads chunk `c` from disk, charging its bytes to the staging budget.
+    /// Fails with [`amped_sim::SimError::OutOfMemory`] (wrapped in
+    /// [`StreamError::Sim`]) if resident chunks already fill the budget.
+    pub fn load_chunk(&mut self, c: usize) -> Result<Chunk, StreamError> {
+        assert!(c < self.meta.num_chunks(), "chunk {c} out of range");
+        let bytes = self.meta.chunk_bytes(c);
+        self.budget.alloc(bytes)?;
+        match self.read_payload(c) {
+            Ok((coords, values)) => Ok(Chunk {
+                index: c,
+                order: self.meta.order(),
+                coords,
+                values,
+                bytes,
+            }),
+            Err(e) => {
+                // A failed read must not leak budget.
+                self.budget.free(bytes);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns a chunk's bytes to the staging budget.
+    pub fn release(&mut self, chunk: Chunk) {
+        self.budget.free(chunk.bytes);
+    }
+
+    fn read_payload(&mut self, c: usize) -> Result<(Vec<Idx>, Vec<Val>), StreamError> {
+        let order = self.meta.order();
+        let nnz = self.meta.chunks[c].nnz as usize;
+        self.file
+            .seek(SeekFrom::Start(self.meta.chunk_offset(c)))
+            .map_err(|e| StreamError::io(&self.path, e))?;
+        // Decode element by element through a small fixed read buffer, so
+        // transient memory beyond the charged chunk bytes stays O(64 KiB) —
+        // reading the raw payload into its own buffer first would silently
+        // double the staging footprint the budget accounts for.
+        let mut reader = BufReader::with_capacity(64 * 1024, &mut self.file);
+        let mut elem = vec![0u8; order * 4 + 4];
+        let mut coords = Vec::with_capacity(nnz * order);
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            reader
+                .read_exact(&mut elem)
+                .map_err(|e| StreamError::io(&self.path, e))?;
+            for m in 0..order {
+                let idx = Idx::from_le_bytes(elem[m * 4..m * 4 + 4].try_into().expect("4 bytes"));
+                if idx >= self.meta.shape[m] {
+                    return Err(StreamError::format(
+                        &self.path,
+                        format!(
+                            "chunk {c}: coordinate {idx} out of bounds for mode {m} (size {})",
+                            self.meta.shape[m]
+                        ),
+                    ));
+                }
+                coords.push(idx);
+            }
+            values.push(Val::from_le_bytes(
+                elem[order * 4..].try_into().expect("4 bytes"),
+            ));
+        }
+        Ok((coords, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::write_tnsb;
+    use amped_tensor::gen::GenSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("amped_chunkreader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn chunks_reassemble_the_tensor_exactly() {
+        let t = GenSpec::uniform(vec![30, 20, 10], 777, 3).generate();
+        let path = tmp("roundtrip.tnsb");
+        write_tnsb(&t, &path, 100).unwrap();
+        let budget = MemPool::new("host-stage", 4 * 100 * t.elem_bytes());
+        let mut r = ChunkReader::open(&path, budget).unwrap();
+        let mut e_global = 0usize;
+        for c in 0..r.meta().num_chunks() {
+            let chunk = r.load_chunk(c).unwrap();
+            for e in 0..chunk.nnz() {
+                assert_eq!(chunk.coords(e), t.coords(e_global));
+                assert_eq!(chunk.value(e), t.value(e_global));
+                e_global += 1;
+            }
+            r.release(chunk);
+        }
+        assert_eq!(e_global, t.nnz());
+        assert_eq!(r.budget().used(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn budget_bounds_resident_chunks() {
+        let t = GenSpec::uniform(vec![30, 20, 10], 500, 4).generate();
+        let path = tmp("budget.tnsb");
+        write_tnsb(&t, &path, 100).unwrap();
+        let chunk_bytes = 100 * t.elem_bytes();
+        // Budget holds exactly one full chunk.
+        let mut r = ChunkReader::open(&path, MemPool::new("host-stage", chunk_bytes)).unwrap();
+        let first = r.load_chunk(0).unwrap();
+        let err = r.load_chunk(1).unwrap_err();
+        assert!(err.is_oom(), "expected staging OOM, got {err}");
+        r.release(first);
+        let second = r.load_chunk(1).unwrap();
+        assert_eq!(second.nnz(), 100);
+        r.release(second);
+        // Peak never exceeded the budget.
+        assert_eq!(r.budget().peak(), chunk_bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn too_small_budget_cannot_load_any_chunk() {
+        let t = GenSpec::uniform(vec![10, 10], 64, 5).generate();
+        let path = tmp("tiny_budget.tnsb");
+        write_tnsb(&t, &path, 64).unwrap();
+        let mut r = ChunkReader::open(&path, MemPool::new("host-stage", 8)).unwrap();
+        assert!(r.load_chunk(0).unwrap_err().is_oom());
+        std::fs::remove_file(path).ok();
+    }
+}

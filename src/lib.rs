@@ -3,7 +3,8 @@
 //! Facade crate re-exporting the whole workspace: the AMPED engine
 //! ([`amped_core`]), the sparse tensor substrate ([`amped_tensor`]), the
 //! simulated multi-GPU platform ([`amped_sim`]), the partitioner
-//! ([`amped_partition`]), the baseline formats ([`amped_formats`]) and
+//! ([`amped_partition`]), the out-of-core streaming pipeline
+//! ([`amped_stream`]), the baseline formats ([`amped_formats`]) and
 //! systems ([`amped_baselines`]), and the dense linear algebra
 //! ([`amped_linalg`]).
 //!
@@ -16,6 +17,7 @@
 //! cargo run --release --example cpd_als
 //! cargo run --release --example multi_gpu_scaling
 //! cargo run --release --example out_of_core
+//! cargo run --release --example stream_ooc
 //! cargo run --release --example twitch_5mode
 //! ```
 
@@ -27,6 +29,7 @@ pub use amped_formats as formats;
 pub use amped_linalg as linalg;
 pub use amped_partition as partition;
 pub use amped_sim as sim;
+pub use amped_stream as stream;
 pub use amped_tensor as tensor;
 
 /// Convenience re-exports covering the common workflow: build a tensor,
@@ -38,11 +41,16 @@ pub mod prelude {
     };
     pub use amped_core::als::{cp_als, AlsOptions, AlsResult};
     pub use amped_core::reference::{mttkrp_par, mttkrp_ref};
-    pub use amped_core::{AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, SchedulePolicy};
+    pub use amped_core::{
+        AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, MttkrpEngine, OocEngine, SchedulePolicy,
+    };
     pub use amped_linalg::Mat;
     pub use amped_partition::{EqualPlan, ModePlan, PartitionPlan};
     pub use amped_sim::metrics::{geomean, RunReport};
-    pub use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
+    pub use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
+    pub use amped_stream::{
+        convert_tns_to_tnsb, write_tnsb, ChunkReader, StreamError, StreamPlan, TnsbMeta, TnsbWriter,
+    };
     pub use amped_tensor::datasets::Dataset;
     pub use amped_tensor::gen::{low_rank, low_rank_dense, GenSpec};
     pub use amped_tensor::{io, Idx, SparseTensor, Val};

@@ -1,0 +1,53 @@
+//! Property test: `write_tns` → `read_tns` round-trips arbitrary small
+//! tensors exactly — dims, coords, and values.
+//!
+//! The `.tns` text format carries no shape header (the reader infers dims
+//! from the per-mode maximum coordinate), so the generated tensors are
+//! shrunk to their occupied bounding box first; within that contract the
+//! round trip must be bit-exact: Rust's float formatting prints the shortest
+//! string that parses back to the same `f32`.
+
+use amped::prelude::*;
+use amped::tensor::io::{read_tns, write_tns};
+use proptest::prelude::*;
+
+/// Rebuilds `t` with dims tightened to the occupied bounding box.
+fn tighten(t: &SparseTensor) -> SparseTensor {
+    let shape: Vec<Idx> = (0..t.order())
+        .map(|m| (0..t.nnz()).map(|e| t.idx(e, m)).max().unwrap() + 1)
+        .collect();
+    SparseTensor::from_parts(shape, t.indices_flat().to_vec(), t.values().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tns_round_trip_is_exact_3mode(
+        d0 in 1u32..300,
+        d1 in 1u32..50,
+        d2 in 1u32..50,
+        nnz in 1usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let t = tighten(&GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate());
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t); // shape + coords + values, exactly
+    }
+
+    #[test]
+    fn tns_round_trip_is_exact_any_order(
+        order in 1usize..5,
+        dim in 1u32..60,
+        nnz in 1usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let t = tighten(&GenSpec::uniform(vec![dim; order], nnz, seed).generate());
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}
