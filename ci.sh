@@ -9,19 +9,22 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== 1/5 cargo fmt --check ==="
+echo "=== 1/6 cargo fmt --check ==="
 cargo fmt --check
 
-echo "=== 2/5 cargo build --release ==="
+echo "=== 2/6 cargo build --release ==="
 cargo build --release
 
-echo "=== 3/5 cargo test -q ==="
+echo "=== 3/6 cargo test -q ==="
 cargo test -q
 
-echo "=== 4/5 cargo clippy --all-targets -- -D warnings ==="
+echo "=== 4/6 cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
-echo "=== 5/5 cargo bench -p amped-bench -- --test (smoke) ==="
+echo "=== 5/6 cargo doc --no-deps (warnings denied) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "=== 6/6 cargo bench -p amped-bench -- --test (smoke) ==="
 cargo bench -p amped-bench -- --test
 
 echo "CI green."

@@ -9,18 +9,19 @@
 use crate::system::{chunk_ranges, stats_from_coords, Capabilities, MttkrpSystem, SystemRun};
 use amped_formats::LinTensor;
 use amped_linalg::Mat;
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::{list_schedule_makespan, run_grid};
-use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Extra per-element instruction cost of BLCO's bit-field decode.
 const DECODE_FACTOR: f64 = 2.0;
 
 /// BLCO on one simulated GPU with host-resident tensor.
+#[derive(Debug)]
 pub struct BlcoSystem {
-    spec: PlatformSpec,
+    runtime: Box<dyn DeviceRuntime>,
     /// Elements per streamed block.
     pub block_nnz: usize,
     /// Elements per threadblock work unit.
@@ -28,10 +29,16 @@ pub struct BlcoSystem {
 }
 
 impl BlcoSystem {
-    /// Creates the system (only GPU 0 of the platform is used).
+    /// Creates the system on the default simulated runtime (only GPU 0 of
+    /// the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
+        Self::with_runtime(Box::new(SimRuntime::new(spec)))
+    }
+
+    /// Creates the system executing through an explicit device runtime.
+    pub fn with_runtime(runtime: Box<dyn DeviceRuntime>) -> Self {
         Self {
-            spec,
+            runtime,
             block_nnz: 1 << 20,
             isp_nnz: 8192,
         }
@@ -56,9 +63,12 @@ impl MttkrpSystem for BlcoSystem {
     }
 
     fn execute(&mut self, tensor: &SparseTensor, factors: &[Mat]) -> Result<SystemRun, SimError> {
+        self.runtime.reset_mem();
+        let spec = self.runtime.spec().clone();
+        let runtime = self.runtime.as_mut();
         let rank = factors[0].cols();
         let order = tensor.order();
-        let gpu = &self.spec.gpus[0];
+        let gpu = &spec.gpus[0];
         let cost = CostModel::default();
 
         // --- Memory: tensor stays on the host; the GPU holds the factor
@@ -69,20 +79,19 @@ impl MttkrpSystem for BlcoSystem {
             .iter()
             .map(|&d| d as u64 * rank as u64 * 4)
             .sum();
-        let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
-        gmem.alloc(factor_bytes)?;
-        let mem_budget = (gmem.available() / (4 * LinTensor::ELEM_BYTES)) as usize;
+        runtime.alloc(Device::Gpu(0), factor_bytes, "factor-matrix copies")?;
+        let mem_budget =
+            (runtime.mem(Device::Gpu(0)).available() / (4 * LinTensor::ELEM_BYTES)) as usize;
         let block_nnz = self.block_nnz.min(mem_budget.max(1024));
 
         // --- Preprocess: linearize + sort + block (host side, measured).
         let lt = LinTensor::build(tensor, block_nnz);
-        let mut host = MemPool::new("host", self.spec.host.mem_bytes);
-        host.alloc(lt.bytes())?;
+        runtime.alloc(Device::Host, lt.bytes(), "linearized tensor copy")?;
         let max_block = (0..lt.blocks().len())
             .map(|b| lt.block_bytes(b))
             .max()
             .unwrap_or(0);
-        gmem.alloc(2 * max_block)?;
+        runtime.alloc(Device::Gpu(0), 2 * max_block, "streamed block buffers")?;
 
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
         let mut fs = factors.to_vec();
@@ -97,7 +106,7 @@ impl MttkrpSystem for BlcoSystem {
             let mut transfers = Vec::with_capacity(lt.blocks().len());
             let mut computes = Vec::with_capacity(lt.blocks().len());
             for b in 0..lt.blocks().len() {
-                transfers.push(self.spec.pcie.transfer_time(lt.block_bytes(b)));
+                transfers.push(runtime.h2d_time(0, 1, lt.block_bytes(b)));
                 // Per-threadblock chunking of the streamed block.
                 let n = lt.blocks()[b].elems.len();
                 let chunks = chunk_ranges(n, self.isp_nnz);
@@ -127,13 +136,13 @@ impl MttkrpSystem for BlcoSystem {
                         cost.block_time(gpu, &bs, DECODE_FACTOR, chunks.len())
                     })
                     .collect();
-                computes.push(list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan);
+                computes.push(runtime.makespan(0, &costs).makespan);
 
                 // Real execution of this block's grid.
-                run_grid(
-                    gpu.sms,
+                runtime.launch_grid(
+                    0,
                     chunks.len(),
-                    |ci| {
+                    &|ci| {
                         let (lo, hi) = chunks[ci];
                         let mut prod = vec![0.0f32; rank];
                         for (coords, val) in &elems[lo..hi] {
@@ -153,7 +162,7 @@ impl MttkrpSystem for BlcoSystem {
                             }
                         }
                     },
-                    |ci| costs[ci],
+                    &|ci| costs[ci],
                 );
             }
             // Out-of-memory BLCO synchronizes per streamed block: the
@@ -172,7 +181,7 @@ impl MttkrpSystem for BlcoSystem {
         Ok(SystemRun {
             report,
             factors: fs,
-            gpu_mem_peak: gmem.peak(),
+            gpu_mem_peak: runtime.mem(Device::Gpu(0)).peak(),
         })
     }
 }

@@ -11,15 +11,16 @@
 use crate::system::{pipeline_time, Capabilities, MttkrpSystem, SystemRun};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, EqualPlan, ShardStats};
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::{list_schedule_makespan, run_grid};
-use amped_sim::{AtomicMat, LinkSpec, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Equal-nnz distribution across all GPUs of the platform.
+#[derive(Debug)]
 pub struct EqualNnzSystem {
-    spec: PlatformSpec,
+    runtime: Box<dyn DeviceRuntime>,
     /// Elements per threadblock work unit.
     pub isp_nnz: usize,
     /// Streaming granularity per GPU (elements).
@@ -27,10 +28,16 @@ pub struct EqualNnzSystem {
 }
 
 impl EqualNnzSystem {
-    /// Creates the system using every GPU of `spec`.
+    /// Creates the system using every GPU of `spec` on the default
+    /// simulated runtime.
     pub fn new(spec: PlatformSpec) -> Self {
+        Self::with_runtime(Box::new(SimRuntime::new(spec)))
+    }
+
+    /// Creates the system executing through an explicit device runtime.
+    pub fn with_runtime(runtime: Box<dyn DeviceRuntime>) -> Self {
         Self {
-            spec,
+            runtime,
             isp_nnz: 8192,
             stream_nnz: 1 << 20,
         }
@@ -55,10 +62,13 @@ impl MttkrpSystem for EqualNnzSystem {
     }
 
     fn execute(&mut self, tensor: &SparseTensor, factors: &[Mat]) -> Result<SystemRun, SimError> {
+        self.runtime.reset_mem();
+        let spec = self.runtime.spec().clone();
+        let runtime = self.runtime.as_mut();
         let rank = factors[0].cols();
         let order = tensor.order();
-        let m = self.spec.num_gpus();
-        let gpu = &self.spec.gpus[0];
+        let m = spec.num_gpus();
+        let gpu = &spec.gpus[0];
         let cost = CostModel::default();
         let row_bytes = rank as u64 * 4;
 
@@ -70,28 +80,26 @@ impl MttkrpSystem for EqualNnzSystem {
 
         // --- Memory: one host copy; per GPU factors + stream buffers (sized
         // to the memory left after factors, as in the AMPED engine).
-        let mut host = MemPool::new("host", self.spec.host.mem_bytes);
-        host.alloc(tensor.bytes())?;
+        runtime.alloc(Device::Host, tensor.bytes(), "tensor copy")?;
         let factor_bytes: u64 = tensor
             .shape()
             .iter()
             .map(|&d| d as u64 * rank as u64 * 4)
             .sum();
-        let mut gpu_peak = 0u64;
+        let isp_nnz = self.isp_nnz;
         let mut stream_nnz = self.stream_nnz;
         for g in 0..m {
-            let mut pool = MemPool::new(format!("gpu{g}"), gpu.mem_bytes);
-            pool.alloc(factor_bytes)?;
-            let mem_budget = (pool.available() / (4 * tensor.elem_bytes())) as usize;
-            stream_nnz = stream_nnz.min(mem_budget.max(self.isp_nnz));
-            pool.alloc(2 * stream_nnz as u64 * tensor.elem_bytes())?;
-            gpu_peak = gpu_peak.max(pool.peak());
+            runtime.alloc(Device::Gpu(g), factor_bytes, "factor-matrix copies")?;
+            let mem_budget =
+                (runtime.mem(Device::Gpu(g)).available() / (4 * tensor.elem_bytes())) as usize;
+            stream_nnz = stream_nnz.min(mem_budget.max(isp_nnz));
+            runtime.alloc(
+                Device::Gpu(g),
+                2 * stream_nnz as u64 * tensor.elem_bytes(),
+                "stream buffers",
+            )?;
         }
 
-        let link = LinkSpec {
-            gbps: self.spec.h2d_effective_gbps(m),
-            latency_s: self.spec.pcie.latency_s,
-        };
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
         let mut fs = factors.to_vec();
         let mut report = RunReport {
@@ -111,8 +119,12 @@ impl MttkrpSystem for EqualNnzSystem {
                 let mut transfers = Vec::with_capacity(pieces.len());
                 let mut computes = Vec::with_capacity(pieces.len());
                 for piece in &pieces {
-                    transfers.push(link.transfer_time(piece.len() as u64 * tensor.elem_bytes()));
-                    let isps = isp_ranges(piece.clone(), self.isp_nnz);
+                    transfers.push(runtime.h2d_time(
+                        g,
+                        m,
+                        piece.len() as u64 * tensor.elem_bytes(),
+                    ));
+                    let isps = isp_ranges(piece.clone(), isp_nnz);
                     let costs: Vec<f64> = isps
                         .iter()
                         .map(|r| {
@@ -131,15 +143,15 @@ impl MttkrpSystem for EqualNnzSystem {
                             cost.block_time(gpu, &bs, 1.0, isps.len())
                         })
                         .collect();
-                    computes.push(list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan);
+                    computes.push(runtime.makespan(g, &costs).makespan);
 
                     // Real execution with atomics into the shared output
                     // (the host merge is priced below; numerically the merge
                     // of partial sums equals direct accumulation).
-                    run_grid(
-                        gpu.sms,
+                    runtime.launch_grid(
+                        g,
                         isps.len(),
-                        |b| {
+                        &|b| {
                             let mut prod = vec![0.0f32; rank];
                             for e in isps[b].clone() {
                                 let coords = tensor.coords(e);
@@ -159,7 +171,7 @@ impl MttkrpSystem for EqualNnzSystem {
                                 }
                             }
                         },
-                        |b| costs[b],
+                        &|b| costs[b],
                     );
                 }
                 let (end, busy) = pipeline_time(&transfers, &computes);
@@ -177,15 +189,18 @@ impl MttkrpSystem for EqualNnzSystem {
             let d2h = plan
                 .chunks
                 .iter()
-                .map(|c| link.transfer_time(c.stats.distinct_out * row_bytes))
+                .map(|c| runtime.d2h_time(c.gpu, m, c.stats.distinct_out * row_bytes))
                 .fold(0.0f64, f64::max);
             // 2. Host adds all partial rows into the merged factor.
             let merge = cost.host_merge_time(
-                self.spec.host.merge_elems_per_sec,
+                spec.host.merge_elems_per_sec,
                 plan.total_touched_rows * rank as u64,
             );
-            // 3. The merged factor broadcasts back to every GPU (concurrent).
-            let bcast = link.transfer_time(tensor.dim(d) as u64 * row_bytes);
+            // 3. The merged factor broadcasts back to every GPU (concurrent
+            // identical transfers — issue one per GPU so traces see all m).
+            let bcast = (0..m)
+                .map(|g| runtime.h2d_time(g, m, tensor.dim(d) as u64 * row_bytes))
+                .fold(0.0f64, f64::max);
             for b in report.per_gpu.iter_mut() {
                 b.d2h += d2h;
                 b.host += merge;
@@ -202,7 +217,7 @@ impl MttkrpSystem for EqualNnzSystem {
         Ok(SystemRun {
             report,
             factors: fs,
-            gpu_mem_peak: gpu_peak,
+            gpu_mem_peak: runtime.gpu_mem_peak(),
         })
     }
 }

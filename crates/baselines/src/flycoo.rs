@@ -11,24 +11,31 @@
 use crate::system::{Capabilities, MttkrpSystem, SystemRun};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, PartitionPlan, ShardStats};
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::{list_schedule_makespan, run_grid};
-use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// FLYCOO-GPU on one simulated GPU.
+#[derive(Debug)]
 pub struct FlycooSystem {
-    spec: PlatformSpec,
+    runtime: Box<dyn DeviceRuntime>,
     /// Elements per threadblock work unit.
     pub isp_nnz: usize,
 }
 
 impl FlycooSystem {
-    /// Creates the system (only GPU 0 of the platform is used).
+    /// Creates the system on the default simulated runtime (only GPU 0 of
+    /// the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
+        Self::with_runtime(Box::new(SimRuntime::new(spec)))
+    }
+
+    /// Creates the system executing through an explicit device runtime.
+    pub fn with_runtime(runtime: Box<dyn DeviceRuntime>) -> Self {
         Self {
-            spec,
+            runtime,
             isp_nnz: 8192,
         }
     }
@@ -52,9 +59,12 @@ impl MttkrpSystem for FlycooSystem {
     }
 
     fn execute(&mut self, tensor: &SparseTensor, factors: &[Mat]) -> Result<SystemRun, SimError> {
+        self.runtime.reset_mem();
+        let spec = self.runtime.spec().clone();
+        let runtime = self.runtime.as_mut();
         let rank = factors[0].cols();
         let order = tensor.order();
-        let gpu = &self.spec.gpus[0];
+        let gpu = &spec.gpus[0];
         let cost = CostModel::default();
 
         // --- Memory: 2 tensor copies + factors, all resident on one GPU.
@@ -63,9 +73,12 @@ impl MttkrpSystem for FlycooSystem {
             .iter()
             .map(|&d| d as u64 * rank as u64 * 4)
             .sum();
-        let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
-        gmem.alloc(2 * tensor.bytes())?;
-        gmem.alloc(factor_bytes)?;
+        runtime.alloc(
+            Device::Gpu(0),
+            2 * tensor.bytes(),
+            "two resident tensor copies",
+        )?;
+        runtime.alloc(Device::Gpu(0), factor_bytes, "factor-matrix copies")?;
 
         // --- Preprocess: initial shard layout (single device). The per-mode
         // reorderings happen *during execution* via dynamic remapping, so
@@ -80,6 +93,7 @@ impl MttkrpSystem for FlycooSystem {
         // MTTKRP kernel it runs near peak DRAM bandwidth.
         let remap_time = 2.0 * tensor.bytes() as f64 / (gpu.dram_gbps * 1e9 * 0.85);
 
+        let isp_nnz = self.isp_nnz;
         let mut fs = factors.to_vec();
         let mut report = RunReport {
             preprocess_wall,
@@ -90,7 +104,7 @@ impl MttkrpSystem for FlycooSystem {
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
         for d in 0..order {
             let mp = &plan.modes[d];
-            let isps = isp_ranges(0..mp.tensor.nnz(), self.isp_nnz);
+            let isps = isp_ranges(0..mp.tensor.nnz(), isp_nnz);
             let costs: Vec<f64> = isps
                 .iter()
                 .map(|r| {
@@ -109,16 +123,16 @@ impl MttkrpSystem for FlycooSystem {
                     cost.block_time(gpu, &bs, 1.0, isps.len())
                 })
                 .collect();
-            let makespan = list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan;
+            let makespan = runtime.makespan(0, &costs).makespan;
             let mode_wall = makespan.max(remap_time);
 
             // Real execution over the mode-sorted resident copy.
             let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
             let tsr = &mp.tensor;
-            run_grid(
-                gpu.sms,
+            runtime.launch_grid(
+                0,
                 isps.len(),
-                |b| {
+                &|b| {
                     let mut prod = vec![0.0f32; rank];
                     for e in isps[b].clone() {
                         let coords = tsr.coords(e);
@@ -138,7 +152,7 @@ impl MttkrpSystem for FlycooSystem {
                         }
                     }
                 },
-                |b| costs[b],
+                &|b| costs[b],
             );
             fs[d] = Mat::from_vec(tensor.dim(d) as usize, rank, out.to_vec());
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
@@ -151,7 +165,7 @@ impl MttkrpSystem for FlycooSystem {
         Ok(SystemRun {
             report,
             factors: fs,
-            gpu_mem_peak: gmem.peak(),
+            gpu_mem_peak: runtime.mem(Device::Gpu(0)).peak(),
         })
     }
 }

@@ -10,28 +10,35 @@
 use crate::system::{stats_from_coords, Capabilities, MttkrpSystem, SystemRun};
 use amped_formats::CsfTensor;
 use amped_linalg::Mat;
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::list_schedule_makespan;
-use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Mild per-element overhead of fiber-pointer chasing.
 const DECODE_FACTOR: f64 = 1.1;
 
 /// MM-CSF on one simulated GPU.
+#[derive(Debug)]
 pub struct MmCsfSystem {
-    spec: PlatformSpec,
+    runtime: Box<dyn DeviceRuntime>,
     /// Target elements per threadblock work unit (root fibers are grouped
     /// until this many leaves accumulate).
     pub isp_nnz: usize,
 }
 
 impl MmCsfSystem {
-    /// Creates the system (only GPU 0 of the platform is used).
+    /// Creates the system on the default simulated runtime (only GPU 0 of
+    /// the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
+        Self::with_runtime(Box::new(SimRuntime::new(spec)))
+    }
+
+    /// Creates the system executing through an explicit device runtime.
+    pub fn with_runtime(runtime: Box<dyn DeviceRuntime>) -> Self {
         Self {
-            spec,
+            runtime,
             isp_nnz: 8192,
         }
     }
@@ -61,8 +68,10 @@ impl MttkrpSystem for MmCsfSystem {
                 "MM-CSF supports 3- and 4-mode tensors, got {order} modes"
             )));
         }
+        self.runtime.reset_mem();
+        let spec = self.runtime.spec().clone();
         let rank = factors[0].cols();
-        let gpu = &self.spec.gpus[0];
+        let gpu = &spec.gpus[0];
         let cost = CostModel::default();
 
         // --- Preprocess: per-output-mode CSF trees (the real system derives
@@ -84,17 +93,18 @@ impl MttkrpSystem for MmCsfSystem {
         let coo_staging = tensor.bytes();
         let sort_scratch = tensor.nnz() as u64 * 8;
         let csf_resident = csfs.iter().map(|c| c.bytes()).max().unwrap_or(0);
-        let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
+        let runtime = self.runtime.as_mut();
         // Build phase: COO + sort scratch live on the device…
-        gmem.alloc(coo_staging)?;
-        gmem.alloc(sort_scratch)?;
+        runtime.alloc(Device::Gpu(0), coo_staging, "COO build staging")?;
+        runtime.alloc(Device::Gpu(0), sort_scratch, "sort scratch")?;
         // …and are released before the resident structures are installed
         // (peak = max of the two phases, matching the published system's
         // observed footprint on the paper's datasets).
-        gmem.free(coo_staging + sort_scratch);
-        gmem.alloc(csf_resident)?;
-        gmem.alloc(factor_bytes)?;
+        runtime.free(Device::Gpu(0), coo_staging + sort_scratch);
+        runtime.alloc(Device::Gpu(0), csf_resident, "CSF resident tensor")?;
+        runtime.alloc(Device::Gpu(0), factor_bytes, "factor-matrix copies")?;
 
+        let isp_nnz = self.isp_nnz;
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
         let mut fs = factors.to_vec();
         let mut report = RunReport {
@@ -114,7 +124,7 @@ impl MttkrpSystem for MmCsfSystem {
                 let mut leaves = 0usize;
                 for (f, &c) in counts.iter().enumerate() {
                     leaves += c;
-                    if leaves >= self.isp_nnz || f + 1 == roots {
+                    if leaves >= isp_nnz || f + 1 == roots {
                         units.push(start..f + 1);
                         start = f + 1;
                         leaves = 0;
@@ -154,7 +164,7 @@ impl MttkrpSystem for MmCsfSystem {
                     cost.block_time(gpu, &bs, DECODE_FACTOR, units.len())
                 })
                 .collect();
-            let makespan = list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan;
+            let makespan = runtime.makespan(0, &costs).makespan;
 
             // Real execution: tensor is resident, so there is no per-mode
             // streaming; units write disjoint output rows and run
@@ -175,7 +185,7 @@ impl MttkrpSystem for MmCsfSystem {
         Ok(SystemRun {
             report,
             factors: fs,
-            gpu_mem_peak: gmem.peak(),
+            gpu_mem_peak: runtime.mem(Device::Gpu(0)).peak(),
         })
     }
 }

@@ -10,10 +10,10 @@
 use crate::system::{stats_from_coords, Capabilities, MttkrpSystem, SystemRun};
 use amped_formats::HicooTensor;
 use amped_linalg::Mat;
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::{list_schedule_makespan, run_grid};
-use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Per-element overhead of block-coordinate reconstruction.
@@ -26,8 +26,9 @@ const DECODE_FACTOR: f64 = 1.3;
 const KERNEL_INEFFICIENCY: f64 = 3.0;
 
 /// ParTI's HiCOO MTTKRP on one simulated GPU.
+#[derive(Debug)]
 pub struct PartiSystem {
-    spec: PlatformSpec,
+    runtime: Box<dyn DeviceRuntime>,
     /// Elements per threadblock work unit (HiCOO blocks are grouped into
     /// superblock units until this many elements accumulate).
     pub isp_nnz: usize,
@@ -36,10 +37,16 @@ pub struct PartiSystem {
 }
 
 impl PartiSystem {
-    /// Creates the system (only GPU 0 of the platform is used).
+    /// Creates the system on the default simulated runtime (only GPU 0 of
+    /// the platform is used).
     pub fn new(spec: PlatformSpec) -> Self {
+        Self::with_runtime(Box::new(SimRuntime::new(spec)))
+    }
+
+    /// Creates the system executing through an explicit device runtime.
+    pub fn with_runtime(runtime: Box<dyn DeviceRuntime>) -> Self {
         Self {
-            spec,
+            runtime,
             isp_nnz: 8192,
             min_avg_per_block: 8.0,
         }
@@ -70,8 +77,10 @@ impl MttkrpSystem for PartiSystem {
                 "ParTI-GPU HiCOO MTTKRP supports 3-mode tensors, got {order} modes"
             )));
         }
+        self.runtime.reset_mem();
+        let spec = self.runtime.spec().clone();
         let rank = factors[0].cols();
-        let gpu = &self.spec.gpus[0];
+        let gpu = &spec.gpus[0];
         let cost = CostModel::default();
 
         // --- Preprocess on the host: block-size selection + conversion.
@@ -87,20 +96,21 @@ impl MttkrpSystem for PartiSystem {
             .map(|&d| d as u64 * rank as u64 * 4)
             .sum();
         let workspace = tensor.nnz() as u64 * 4;
-        let mut gmem = MemPool::new("gpu0", gpu.mem_bytes);
-        gmem.alloc(h.bytes())?;
-        gmem.alloc(factor_bytes)?;
-        gmem.alloc(workspace)?;
+        let runtime = self.runtime.as_mut();
+        runtime.alloc(Device::Gpu(0), h.bytes(), "HiCOO resident tensor")?;
+        runtime.alloc(Device::Gpu(0), factor_bytes, "factor-matrix copies")?;
+        runtime.alloc(Device::Gpu(0), workspace, "segmented-scan workspace")?;
 
         // --- Superblock work units: consecutive HiCOO blocks totalling
         // ~isp_nnz elements.
+        let isp_nnz = self.isp_nnz;
         let mut units: Vec<std::ops::Range<usize>> = Vec::new();
         {
             let mut start = 0usize;
             let mut elems = 0usize;
             for b in 0..h.num_blocks() {
                 elems += h.block_nnz(b);
-                if elems >= self.isp_nnz || b + 1 == h.num_blocks() {
+                if elems >= isp_nnz || b + 1 == h.num_blocks() {
                     units.push(start..b + 1);
                     start = b + 1;
                     elems = 0;
@@ -142,14 +152,14 @@ impl MttkrpSystem for PartiSystem {
                     cost.block_time(gpu, &bs, DECODE_FACTOR, units.len()) * KERNEL_INEFFICIENCY
                 })
                 .collect();
-            let makespan = list_schedule_makespan(gpu.sms, costs.iter().copied()).makespan;
+            let makespan = runtime.makespan(0, &costs).makespan;
 
             // Real execution: grid over superblock units with atomics.
             let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
-            run_grid(
-                gpu.sms,
+            runtime.launch_grid(
+                0,
                 units.len(),
-                |ui| {
+                &|ui| {
                     let mut prod = vec![0.0f32; rank];
                     for b in units[ui].clone() {
                         for (coords, val) in h.block_iter(b) {
@@ -170,7 +180,7 @@ impl MttkrpSystem for PartiSystem {
                         }
                     }
                 },
-                |ui| costs[ui],
+                &|ui| costs[ui],
             );
             fs[d] = Mat::from_vec(tensor.dim(d) as usize, rank, out.to_vec());
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
@@ -183,7 +193,7 @@ impl MttkrpSystem for PartiSystem {
         Ok(SystemRun {
             report,
             factors: fs,
-            gpu_mem_peak: gmem.peak(),
+            gpu_mem_peak: runtime.mem(Device::Gpu(0)).peak(),
         })
     }
 }

@@ -20,8 +20,8 @@ use amped_core::{AmpedConfig, AmpedEngine, OocEngine};
 use amped_formats::{CsfTensor, HicooTensor, LinTensor};
 use amped_linalg::Mat;
 use amped_partition::{chains_on_chains, ModePlan, PartitionPlan};
-use amped_sim::collective::{ring_allgather, ring_allgather_time};
-use amped_sim::{atomic_add_f32, AtomicMat, LinkSpec, PlatformSpec};
+use amped_runtime::{Collective, DeviceRuntime, FactorBlock, SimRuntime};
+use amped_sim::{atomic_add_f32, AtomicMat, PlatformSpec};
 use amped_stream::write_tnsb;
 use amped_tensor::gen::GenSpec;
 use rand::rngs::SmallRng;
@@ -239,28 +239,30 @@ fn main() {
     }
 
     // 5. Ring all-gather (allgather bench): functional movement at M = 4 and
-    //    the pure timing model.
+    //    the pure timing model, both through the device runtime.
     {
         let m = 4usize;
         let rows = 4096;
         let rank = 32;
-        let blocks: Vec<Vec<f32>> = (0..m).map(|g| vec![g as f32; rows * rank / m]).collect();
+        let mut rt = SimRuntime::new(PlatformSpec::rtx6000_ada_node(m));
+        let blocks: Vec<FactorBlock> = (0..m)
+            .map(|g| FactorBlock {
+                rows: ((g * rows / m) as u32..((g + 1) * rows / m) as u32).collect(),
+                data: vec![g as f32; rows * rank / m],
+            })
+            .collect();
         push(
             "allgather/functional/4gpu",
             median_secs(REPS, || {
-                ring_allgather(&blocks);
+                rt.allgather_blocks(&blocks);
             }),
             None,
         );
-        let link = LinkSpec {
-            gbps: 50.0,
-            latency_s: 1e-5,
-        };
         let bytes = vec![1_000_000u64; 4];
         push(
             "allgather/timing_model",
             median_secs(REPS, || {
-                ring_allgather_time(&link, &bytes);
+                rt.allgather_time(Collective::Ring, &bytes);
             }),
             None,
         );

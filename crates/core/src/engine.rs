@@ -1,13 +1,20 @@
 //! The AMPED multi-GPU MTTKRP engine (Algorithms 1–3).
+//!
+//! The engine is pure orchestration: partitioning, schedule preparation, and
+//! the double-buffered pipeline arithmetic live here, while every kernel
+//! launch, transfer, collective, and device allocation goes through the
+//! [`DeviceRuntime`] it holds — by default the simulated
+//! [`amped_runtime::SimRuntime`], but any backend (e.g. a tracing decorator,
+//! or eventually a real-GPU runtime) slots in via
+//! [`AmpedEngine::with_runtime`].
 
 use crate::config::{AmpedConfig, GatherAlgo, SchedulePolicy};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, PartitionPlan, ShardStats};
-use amped_sim::collective::{host_staged_gather_time, ring_allgather, ring_allgather_time};
+use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::smexec::{list_schedule_makespan, run_grid};
-use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::{Idx, SparseTensor};
 use std::ops::Range;
 
@@ -69,21 +76,21 @@ struct ShardUnit {
     index_range: Range<u32>,
 }
 
-/// The AMPED engine: owns the partition plan, the simulated platform state,
-/// and the prepared per-mode execution schedules.
+/// The AMPED engine: owns the partition plan, the device runtime it executes
+/// through, and the prepared per-mode execution schedules.
 #[derive(Debug)]
 pub struct AmpedEngine {
+    runtime: Box<dyn DeviceRuntime>,
+    /// Cached copy of the runtime's spec for borrow-free planning reads.
     spec: PlatformSpec,
-    cost: CostModel,
     cfg: AmpedConfig,
     plan: PartitionPlan,
     mode_shards: Vec<Vec<ShardUnit>>,
-    gpu_mem: Vec<MemPool>,
-    host_mem: MemPool,
 }
 
 impl AmpedEngine {
-    /// Partitions `tensor` for `platform` and charges all resident memory.
+    /// Partitions `tensor` for `platform` on the default simulated runtime
+    /// and charges all resident memory.
     ///
     /// Fails with [`SimError::OutOfMemory`] if the host cannot hold the
     /// per-mode tensor copies or a GPU cannot hold its factor-matrix copies
@@ -93,9 +100,21 @@ impl AmpedEngine {
         platform: PlatformSpec,
         cfg: AmpedConfig,
     ) -> Result<Self, SimError> {
+        Self::with_runtime(tensor, Box::new(SimRuntime::new(platform)), cfg)
+    }
+
+    /// Partitions `tensor` for execution through an explicit `runtime` —
+    /// the seam that lets the same engine run on the plain simulator, a
+    /// [`amped_runtime::TracingRuntime`], or any future backend.
+    pub fn with_runtime(
+        tensor: &SparseTensor,
+        mut runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+    ) -> Result<Self, SimError> {
         let mut cfg = cfg;
         cfg.validate().map_err(SimError::Unsupported)?;
-        let m = platform.num_gpus();
+        let spec = runtime.spec().clone();
+        let m = spec.num_gpus();
 
         // --- GPU memory: local copy of every factor matrix (§4.4) plus two
         // shard staging buffers for double-buffered streaming (§4.8). The
@@ -107,21 +126,21 @@ impl AmpedEngine {
             .iter()
             .map(|&d| d as u64 * cfg.rank as u64 * 4)
             .sum();
-        let mut gpu_mem = Vec::with_capacity(m);
-        for (g, gs) in platform.gpus.iter().enumerate() {
-            let mut pool = MemPool::new(format!("gpu{g}"), gs.mem_bytes);
-            pool.alloc(factor_bytes)?;
-            gpu_mem.push(pool);
+        for g in 0..m {
+            runtime.alloc(Device::Gpu(g), factor_bytes, "factor-matrix copies")?;
         }
-        let avail = gpu_mem.iter().map(|p| p.available()).min().unwrap_or(0);
+        let avail = (0..m)
+            .map(|g| runtime.mem(Device::Gpu(g)).available())
+            .min()
+            .unwrap_or(0);
         let mem_budget = (avail / (4 * tensor.elem_bytes())) as usize;
         cfg.shard_nnz_budget = cfg
             .shard_nnz_budget
             .min(mem_budget.max(cfg.isp_nnz))
             .max(cfg.isp_nnz);
         let shard_buffer = 2 * cfg.shard_nnz_budget as u64 * tensor.elem_bytes();
-        for pool in &mut gpu_mem {
-            pool.alloc(shard_buffer)?;
+        for g in 0..m {
+            runtime.alloc(Device::Gpu(g), shard_buffer, "shard streaming buffers")?;
         }
 
         // Under the dynamic-queue ablation, shards are built without device
@@ -133,70 +152,19 @@ impl AmpedEngine {
         let plan = PartitionPlan::build(tensor, plan_gpus, cfg.shard_nnz_budget);
 
         // --- Host memory: all per-mode tensor copies live there (§3.1).
-        let mut host_mem = MemPool::new("host", platform.host.mem_bytes);
-        host_mem.alloc(plan.host_bytes())?;
+        runtime.alloc(Device::Host, plan.host_bytes(), "per-mode tensor copies")?;
 
         let cost = CostModel::default();
-        let mut engine = Self {
-            spec: platform,
-            cost,
+        let mode_shards = (0..tensor.order())
+            .map(|d| prepare_mode(runtime.as_ref(), &spec, &cost, &cfg, &plan, d))
+            .collect();
+        Ok(Self {
+            runtime,
+            spec,
             cfg,
             plan,
-            mode_shards: Vec::new(),
-            gpu_mem,
-            host_mem,
-        };
-        engine.mode_shards = (0..tensor.order())
-            .map(|d| engine.prepare_mode(d))
-            .collect();
-        Ok(engine)
-    }
-
-    /// Precomputes ISP splits, per-block costs, and grid makespans for mode
-    /// `d`. Costs depend only on workload statistics, so they are computed
-    /// once and reused by every run.
-    fn prepare_mode(&self, d: usize) -> Vec<ShardUnit> {
-        let mp = &self.plan.modes[d];
-        let gpu = &self.spec.gpus[0];
-        let cache_rows = (gpu.l2_bytes / (self.cfg.rank as u64 * 4)).max(1) as usize;
-        let elem_bytes = mp.tensor.elem_bytes();
-        mp.shards
-            .iter()
-            .map(|s| {
-                let ranges = isp_ranges(s.elem_range.clone(), self.cfg.isp_nnz);
-                let concurrency = ranges.len();
-                let isps: Vec<IspUnit> = ranges
-                    .into_iter()
-                    .map(|r| {
-                        let st = ShardStats::compute(&mp.tensor, d, r.clone(), cache_rows);
-                        let bs = BlockStats {
-                            nnz: st.nnz,
-                            distinct_out: st.distinct_out,
-                            max_out_run: st.max_out_run,
-                            distinct_in_total: st.distinct_in_total,
-                            dram_factor_reads: st.dram_factor_reads,
-                            sorted_by_output: true, // per-mode sorted copies
-                            order: mp.tensor.order(),
-                            rank: self.cfg.rank,
-                            elem_bytes,
-                        };
-                        IspUnit {
-                            range: r,
-                            cost: self.cost.block_time(gpu, &bs, 1.0, concurrency),
-                        }
-                    })
-                    .collect();
-                let compute = list_schedule_makespan(gpu.sms, isps.iter().map(|i| i.cost)).makespan;
-                ShardUnit {
-                    gpu: s.gpu,
-                    isps,
-                    transfer_bytes: s.bytes(elem_bytes),
-                    compute,
-                    rows: (s.index_range.end - s.index_range.start) as u64,
-                    index_range: s.index_range.clone(),
-                }
-            })
-            .collect()
+            mode_shards,
+        })
     }
 
     /// The partition plan (for experiments that inspect shard structure).
@@ -207,6 +175,11 @@ impl AmpedEngine {
     /// The platform specification.
     pub fn spec(&self) -> &PlatformSpec {
         &self.spec
+    }
+
+    /// The device runtime the engine executes through.
+    pub fn runtime(&self) -> &dyn DeviceRuntime {
+        self.runtime.as_ref()
     }
 
     /// The engine configuration.
@@ -221,12 +194,12 @@ impl AmpedEngine {
 
     /// Peak GPU memory charged, in bytes (max over GPUs).
     pub fn gpu_mem_peak(&self) -> u64 {
-        self.gpu_mem.iter().map(|p| p.peak()).max().unwrap_or(0)
+        self.runtime.gpu_mem_peak()
     }
 
     /// Host memory charged for tensor copies, in bytes.
     pub fn host_mem_used(&self) -> u64 {
-        self.host_mem.used()
+        self.runtime.mem(Device::Host).used()
     }
 
     /// Resolves the shard→GPU assignment for mode `d` under the configured
@@ -244,7 +217,7 @@ impl AmpedEngine {
             SchedulePolicy::DynamicQueue => {
                 // Greedy earliest-finish: the next shard (in index order)
                 // goes to the GPU that would finish it first.
-                let bw = self.h2d_link(m.min(shards.len().max(1)));
+                let bw = self.runtime.h2d_link(m.min(shards.len().max(1)));
                 let mut finish = vec![0.0f64; m];
                 for (i, s) in shards.iter().enumerate() {
                     let g = (0..m)
@@ -258,19 +231,13 @@ impl AmpedEngine {
         per_gpu
     }
 
-    fn h2d_link(&self, active: usize) -> amped_sim::LinkSpec {
-        amped_sim::LinkSpec {
-            gbps: self.spec.h2d_effective_gbps(active),
-            latency_s: self.spec.pcie.latency_s,
-        }
-    }
-
     /// Runs MTTKRP for output mode `d` (Algorithm 1 loop body): returns the
     /// updated output factor `Ŷ_d` and the mode timing.
     ///
     /// Real execution: every ISP's elementwise computation (Algorithm 2) runs
-    /// on the host worker pool with atomic `f32` updates; the ring all-gather
-    /// (Algorithm 3) actually moves the produced rows between per-GPU blocks.
+    /// through [`DeviceRuntime::launch_grid`] with atomic `f32` updates; the
+    /// ring all-gather (Algorithm 3) actually moves the produced rows between
+    /// per-GPU blocks via [`DeviceRuntime::allgather_blocks`].
     pub fn mttkrp_mode(
         &mut self,
         d: usize,
@@ -287,13 +254,22 @@ impl AmpedEngine {
         let m = self.spec.num_gpus();
         let assignment = self.assignment(d);
         let active = assignment.iter().filter(|a| !a.is_empty()).count().max(1);
-        let link = self.h2d_link(active);
-        let gpu_spec = &self.spec.gpus[0];
         let rows_out = self.plan.modes[d].tensor.dim(d) as usize;
         let out = AtomicMat::zeros(rows_out, rank);
 
         let mut per_gpu = vec![TimeBreakdown::default(); m];
         let mut ends = vec![0.0f64; m];
+
+        // Split borrows: the runtime takes ops (&mut) while the plan and
+        // prepared shards feed the kernels (&).
+        let Self {
+            runtime,
+            plan,
+            mode_shards,
+            cfg,
+            ..
+        } = self;
+        let runtime = runtime.as_mut();
 
         for (g, shard_ids) in assignment.iter().enumerate() {
             // Double-buffered streaming pipeline (§4.8): transfer k+1 overlaps
@@ -302,8 +278,8 @@ impl AmpedEngine {
             let mut compute_end = vec![0.0f64; shard_ids.len()];
             let mut compute_busy = 0.0;
             for (k, &sid) in shard_ids.iter().enumerate() {
-                let su = &self.mode_shards[d][sid];
-                let t_x = link.transfer_time(su.transfer_bytes);
+                let su = &mode_shards[d][sid];
+                let t_x = runtime.h2d_time(g, active, su.transfer_bytes);
                 let prev_transfer = if k > 0 { transfer_end[k - 1] } else { 0.0 };
                 let buffer_free = if k >= 2 { compute_end[k - 2] } else { 0.0 };
                 transfer_end[k] = prev_transfer.max(buffer_free) + t_x;
@@ -312,12 +288,12 @@ impl AmpedEngine {
                 compute_busy += su.compute;
 
                 // --- Real execution of the grid (Algorithm 2).
-                let tensor = &self.plan.modes[d].tensor;
+                let tensor = &plan.modes[d].tensor;
                 let isps = &su.isps;
-                run_grid(
-                    gpu_spec.sms,
+                runtime.launch_grid(
+                    g,
                     isps.len(),
-                    |b| {
+                    &|b| {
                         let mut prod = vec![0.0f32; rank];
                         for e in isps[b].range.clone() {
                             let coords = tensor.coords(e);
@@ -337,7 +313,7 @@ impl AmpedEngine {
                             }
                         }
                     },
-                    |b| isps[b].cost,
+                    &|b| isps[b].cost,
                 );
             }
             let end = compute_end.last().copied().unwrap_or(0.0);
@@ -358,14 +334,11 @@ impl AmpedEngine {
             .map(|g| {
                 assignment[g]
                     .iter()
-                    .map(|&sid| self.mode_shards[d][sid].rows * row_bytes)
+                    .map(|&sid| mode_shards[d][sid].rows * row_bytes)
                     .sum()
             })
             .collect();
-        let gather_time = match self.cfg.gather {
-            GatherAlgo::Ring => ring_allgather_time(&self.spec.p2p, &block_bytes),
-            GatherAlgo::HostStaged => host_staged_gather_time(&self.spec.pcie, &block_bytes),
-        };
+        let gather_time = runtime.allgather_time(cfg.gather.collective(), &block_bytes);
         for b in per_gpu.iter_mut() {
             b.p2p += gather_time;
         }
@@ -373,7 +346,7 @@ impl AmpedEngine {
         // Functionally run the ring: extract each GPU's produced rows, pass
         // them around the ring, and reassemble — verifying Algorithm 3 moves
         // exactly the right data (checked against the direct snapshot).
-        let result = self.gather_rows(d, &assignment, &out, rank, rows_out);
+        let result = gather_rows(runtime, &mode_shards[d], &assignment, &out, rank, rows_out);
 
         let timing = ModeTiming {
             mode: d,
@@ -381,53 +354,6 @@ impl AmpedEngine {
             per_gpu,
         };
         Ok((result, timing))
-    }
-
-    /// Extracts per-GPU row blocks, runs the functional ring all-gather, and
-    /// reassembles the full output factor matrix.
-    fn gather_rows(
-        &self,
-        d: usize,
-        assignment: &[Vec<usize>],
-        out: &AtomicMat,
-        rank: usize,
-        rows_out: usize,
-    ) -> Mat {
-        // Each GPU's block: (row ids, packed row data).
-        let blocks: Vec<(Vec<u32>, Vec<f32>)> = assignment
-            .iter()
-            .map(|shard_ids| {
-                let mut ids = Vec::new();
-                let mut data = Vec::new();
-                for &sid in shard_ids {
-                    let su = &self.mode_shards[d][sid];
-                    for i in su.index_range.clone() {
-                        ids.push(i);
-                        for c in 0..rank {
-                            data.push(out.get(i as usize, c));
-                        }
-                    }
-                }
-                (ids, data)
-            })
-            .collect();
-        let gathered = ring_allgather(&blocks);
-        // Every GPU now holds all blocks; assemble GPU 0's copy.
-        let mut full = Mat::zeros(rows_out, rank);
-        for (ids, data) in &gathered[0] {
-            for (k, &i) in ids.iter().enumerate() {
-                full.row_mut(i as usize)
-                    .copy_from_slice(&data[k * rank..(k + 1) * rank]);
-            }
-        }
-        debug_assert!(
-            {
-                let direct = Mat::from_vec(rows_out, rank, out.to_vec());
-                full.approx_eq(&direct, 0.0, 0.0)
-            },
-            "ring all-gather must reproduce the direct snapshot exactly"
-        );
-        full
     }
 
     /// Algorithm 1 in full: MTTKRP along every mode of one decomposition
@@ -455,6 +381,118 @@ impl AmpedEngine {
         }
         Ok(report)
     }
+}
+
+impl GatherAlgo {
+    /// The runtime collective this configuration selects.
+    pub fn collective(self) -> Collective {
+        match self {
+            GatherAlgo::Ring => Collective::Ring,
+            GatherAlgo::HostStaged => Collective::HostStaged,
+        }
+    }
+}
+
+/// Precomputes ISP splits, per-block costs, and grid makespans for mode `d`.
+/// Costs depend only on workload statistics, so they are computed once and
+/// reused by every run.
+fn prepare_mode(
+    runtime: &dyn DeviceRuntime,
+    spec: &PlatformSpec,
+    cost: &CostModel,
+    cfg: &AmpedConfig,
+    plan: &PartitionPlan,
+    d: usize,
+) -> Vec<ShardUnit> {
+    let mp = &plan.modes[d];
+    let gpu = &spec.gpus[0];
+    let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
+    let elem_bytes = mp.tensor.elem_bytes();
+    mp.shards
+        .iter()
+        .map(|s| {
+            let ranges = isp_ranges(s.elem_range.clone(), cfg.isp_nnz);
+            let concurrency = ranges.len();
+            let isps: Vec<IspUnit> = ranges
+                .into_iter()
+                .map(|r| {
+                    let st = ShardStats::compute(&mp.tensor, d, r.clone(), cache_rows);
+                    let bs = BlockStats {
+                        nnz: st.nnz,
+                        distinct_out: st.distinct_out,
+                        max_out_run: st.max_out_run,
+                        distinct_in_total: st.distinct_in_total,
+                        dram_factor_reads: st.dram_factor_reads,
+                        sorted_by_output: true, // per-mode sorted copies
+                        order: mp.tensor.order(),
+                        rank: cfg.rank,
+                        elem_bytes,
+                    };
+                    IspUnit {
+                        range: r,
+                        cost: cost.block_time(gpu, &bs, 1.0, concurrency),
+                    }
+                })
+                .collect();
+            let costs: Vec<f64> = isps.iter().map(|i| i.cost).collect();
+            let compute = runtime.makespan(0, &costs).makespan;
+            ShardUnit {
+                gpu: s.gpu,
+                isps,
+                transfer_bytes: s.bytes(elem_bytes),
+                compute,
+                rows: (s.index_range.end - s.index_range.start) as u64,
+                index_range: s.index_range.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Extracts per-GPU row blocks, runs the functional ring all-gather through
+/// the runtime, and reassembles the full output factor matrix.
+fn gather_rows(
+    runtime: &mut dyn DeviceRuntime,
+    shards: &[ShardUnit],
+    assignment: &[Vec<usize>],
+    out: &AtomicMat,
+    rank: usize,
+    rows_out: usize,
+) -> Mat {
+    // Each GPU's block: (row ids, packed row data).
+    let blocks: Vec<FactorBlock> = assignment
+        .iter()
+        .map(|shard_ids| {
+            let mut rows = Vec::new();
+            let mut data = Vec::new();
+            for &sid in shard_ids {
+                let su = &shards[sid];
+                for i in su.index_range.clone() {
+                    rows.push(i);
+                    for c in 0..rank {
+                        data.push(out.get(i as usize, c));
+                    }
+                }
+            }
+            FactorBlock { rows, data }
+        })
+        .collect();
+    let gathered = runtime.allgather_blocks(&blocks);
+    // Every GPU now holds all blocks; assemble GPU 0's copy.
+    let mut full = Mat::zeros(rows_out, rank);
+    for block in &gathered[0] {
+        for (k, &i) in block.rows.iter().enumerate() {
+            full.row_mut(i as usize)
+                .copy_from_slice(&block.data[k * rank..(k + 1) * rank]);
+        }
+    }
+    debug_assert!(
+        {
+            let direct = Mat::from_vec(rows_out, rank, out.to_vec());
+            full.approx_eq(&direct, 0.0, 0.0)
+        },
+        "ring all-gather must reproduce the direct snapshot exactly"
+    );
+    full
 }
 
 impl MttkrpEngine for AmpedEngine {
@@ -487,6 +525,7 @@ impl MttkrpEngine for AmpedEngine {
 mod tests {
     use super::*;
     use crate::reference::mttkrp_ref;
+    use amped_runtime::TracingRuntime;
     use amped_tensor::gen::GenSpec;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -605,6 +644,36 @@ mod tests {
     }
 
     #[test]
+    fn tracing_runtime_is_timing_transparent() {
+        // The tracer decorator must not change a single simulated bit — the
+        // proof the runtime seam is purely observational.
+        let t = GenSpec::uniform(vec![50, 50, 50], 3000, 91).generate();
+        let fs = factors(&t, 8, 92);
+        let mut plain = AmpedEngine::new(&t, platform(2), cfg(8)).unwrap();
+        let traced_rt = TracingRuntime::new(SimRuntime::new(platform(2)));
+        let timeline = traced_rt.timeline();
+        let mut traced = AmpedEngine::with_runtime(&t, Box::new(traced_rt), cfg(8)).unwrap();
+        let (_, tp) = plain.mttkrp_mode(0, &fs).unwrap();
+        let (_, tt) = traced.mttkrp_mode(0, &fs).unwrap();
+        assert_eq!(tp.wall, tt.wall);
+        for (a, b) in tp.per_gpu.iter().zip(&tt.per_gpu) {
+            assert_eq!(a.compute, b.compute);
+            assert_eq!(a.h2d, b.h2d);
+            assert_eq!(a.p2p, b.p2p);
+        }
+        // …and it observed the run: allocations, transfers, launches,
+        // and the mode's collective.
+        use amped_runtime::OpKind;
+        assert!(
+            timeline.count(OpKind::Alloc) >= 5,
+            "factor+shard+host allocs"
+        );
+        assert!(timeline.count(OpKind::LaunchGrid) > 0);
+        assert!(timeline.count(OpKind::H2d) > 0);
+        assert!(timeline.count(OpKind::Allgather) >= 2, "timed + functional");
+    }
+
+    #[test]
     fn more_gpus_reduce_wall_time() {
         let t = GenSpec::uniform(vec![4000, 300, 300], 200_000, 93).generate();
         let fs = factors(&t, 32, 94);
@@ -630,6 +699,11 @@ mod tests {
         let p = PlatformSpec::rtx6000_ada_node(2).scaled(1e-6);
         let err = AmpedEngine::new(&t, p, AmpedConfig::default()).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");
+        // The purpose tag names the offending allocation.
+        assert!(
+            err.to_string().contains("factor-matrix copies"),
+            "OOM should carry its purpose: {err}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   per-GPU time breakdowns.
 //! * [`als`] — CP-ALS on top of the engine (the decomposition whose inner
 //!   loop the paper accelerates), with λ-normalization and fit tracking.
-//! * [`reference`] — sequential and multithreaded COO MTTKRP oracles used by
+//! * [`mod@reference`] — sequential and multithreaded COO MTTKRP oracles used by
 //!   every correctness test in the workspace.
 //!
 //! ## Quick start

@@ -8,27 +8,28 @@
 //! pulling the slice whose output rows it owns (the streaming plan's CCP
 //! device ranges guarantee no output row spans two GPUs, so intra-GPU
 //! atomics still suffice). Timing reuses the same cost model as the in-core
-//! engine plus the [`host_staged_scatter_time`] staging stage; chunk
-//! payloads arrive unsorted by output index, so slices pay the
-//! atomic-serialization cost the in-core engine's sorted copies avoid —
-//! out-of-core trades compute efficiency for the ability to run at all.
+//! engine plus the runtime's scatter stage
+//! ([`DeviceRuntime::scatter_time`]); chunk payloads arrive unsorted by
+//! output index, so slices pay the atomic-serialization cost the in-core
+//! engine's sorted copies avoid — out-of-core trades compute efficiency for
+//! the ability to run at all.
 //!
 //! Every chunk load and release goes through the staging [`MemPool`], so a
 //! tensor too large for the *budget* still decomposes (chunks rotate through
 //! the staging area), while a budget too small for even one chunk fails
 //! with the same out-of-memory arithmetic as every other capacity limit in
 //! the simulator.
+//!
+//! Like the in-core engine, every kernel launch, transfer, collective, and
+//! device allocation goes through the [`DeviceRuntime`] seam.
 
-use crate::config::{AmpedConfig, GatherAlgo, SchedulePolicy};
+use crate::config::{AmpedConfig, SchedulePolicy};
 use crate::engine::{ModeTiming, MttkrpEngine};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, ShardStats};
-use amped_sim::collective::{
-    host_staged_gather_time, host_staged_scatter_time, ring_allgather_time,
-};
+use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
-use amped_sim::smexec::run_grid;
-use amped_sim::{AtomicMat, LinkSpec, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
 use amped_stream::{ChunkReader, StreamPlan, TnsbMeta};
 use amped_tensor::Idx;
 use std::path::Path;
@@ -39,17 +40,18 @@ use std::path::Path;
 /// budget's worth of nonzeros.
 #[derive(Debug)]
 pub struct OocEngine {
+    runtime: Box<dyn DeviceRuntime>,
+    /// Cached copy of the runtime's spec for borrow-free planning reads.
     spec: PlatformSpec,
     cost: CostModel,
     cfg: AmpedConfig,
     reader: ChunkReader,
     plan: StreamPlan,
-    gpu_mem: Vec<MemPool>,
-    host_mem: MemPool,
 }
 
 impl OocEngine {
-    /// Opens a `.tnsb` tensor for out-of-core decomposition on `platform`.
+    /// Opens a `.tnsb` tensor for out-of-core decomposition on `platform`
+    /// with the default simulated runtime.
     ///
     /// `stage_budget_bytes` is the host staging area chunks rotate through;
     /// it is charged against the platform's host memory pool, and chunk
@@ -65,6 +67,22 @@ impl OocEngine {
         cfg: AmpedConfig,
         stage_budget_bytes: u64,
     ) -> Result<Self, SimError> {
+        Self::with_runtime(
+            path,
+            Box::new(SimRuntime::new(platform)),
+            cfg,
+            stage_budget_bytes,
+        )
+    }
+
+    /// Opens a `.tnsb` tensor for out-of-core decomposition through an
+    /// explicit `runtime` (see [`crate::engine::AmpedEngine::with_runtime`]).
+    pub fn with_runtime(
+        path: impl AsRef<Path>,
+        mut runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+        stage_budget_bytes: u64,
+    ) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::Unsupported)?;
         if cfg.schedule != SchedulePolicy::StaticCcp {
             return Err(SimError::Unsupported(
@@ -75,8 +93,9 @@ impl OocEngine {
         }
         let stage = MemPool::new("host-stage", stage_budget_bytes);
         let mut reader = ChunkReader::open(path.as_ref(), stage).map_err(|e| e.into_sim())?;
+        let spec = runtime.spec().clone();
         let meta = reader.meta();
-        let m = platform.num_gpus();
+        let m = spec.num_gpus();
 
         // --- GPU memory: factor copies (§4.4) plus a double-buffered chunk
         // staging area — a GPU may receive a whole chunk in the worst case.
@@ -86,32 +105,27 @@ impl OocEngine {
             .map(|&d| d as u64 * cfg.rank as u64 * 4)
             .sum();
         let chunk_buffer = 2 * meta.chunk_capacity * meta.elem_bytes();
-        let mut gpu_mem = Vec::with_capacity(m);
-        for (g, gs) in platform.gpus.iter().enumerate() {
-            let mut pool = MemPool::new(format!("gpu{g}"), gs.mem_bytes);
-            pool.alloc(factor_bytes)?;
-            pool.alloc(chunk_buffer)?;
-            gpu_mem.push(pool);
+        for g in 0..m {
+            runtime.alloc(Device::Gpu(g), factor_bytes, "factor-matrix copies")?;
+            runtime.alloc(Device::Gpu(g), chunk_buffer, "chunk streaming buffers")?;
         }
 
         // --- Host memory: only the staging budget is resident (that is the
         // point), charged so a budget larger than the host fails loudly.
-        let mut host_mem = MemPool::new("host", platform.host.mem_bytes);
-        host_mem.alloc(stage_budget_bytes)?;
+        runtime.alloc(Device::Host, stage_budget_bytes, "chunk staging budget")?;
 
         // --- Streaming two-pass plan through the budget.
-        let gpu = &platform.gpus[0];
+        let gpu = &spec.gpus[0];
         let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
         let plan = StreamPlan::build(&mut reader, m, cache_rows).map_err(|e| e.into_sim())?;
 
         Ok(Self {
-            spec: platform,
+            runtime,
+            spec,
             cost: CostModel::default(),
             cfg,
             reader,
             plan,
-            gpu_mem,
-            host_mem,
         })
     }
 
@@ -130,6 +144,11 @@ impl OocEngine {
         &self.spec
     }
 
+    /// The device runtime the engine executes through.
+    pub fn runtime(&self) -> &dyn DeviceRuntime {
+        self.runtime.as_ref()
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &AmpedConfig {
         &self.cfg
@@ -137,50 +156,17 @@ impl OocEngine {
 
     /// Peak GPU memory charged, in bytes (max over GPUs).
     pub fn gpu_mem_peak(&self) -> u64 {
-        self.gpu_mem.iter().map(|p| p.peak()).max().unwrap_or(0)
+        self.runtime.gpu_mem_peak()
     }
 
     /// Host memory charged (the staging budget reservation).
     pub fn host_mem_used(&self) -> u64 {
-        self.host_mem.used()
+        self.runtime.mem(Device::Host).used()
     }
 
     /// High-water mark of the staging budget actually used by chunk loads.
     pub fn stage_peak(&self) -> u64 {
         self.reader.budget().peak()
-    }
-
-    fn h2d_link(&self, active: usize) -> LinkSpec {
-        LinkSpec {
-            gbps: self.spec.h2d_effective_gbps(active),
-            latency_s: self.spec.pcie.latency_s,
-        }
-    }
-
-    /// Simulated grid time of one per-GPU chunk slice: the slice splits into
-    /// `⌈nnz / isp_nnz⌉` equal ISP blocks (unsorted payload → per-element
-    /// atomics), list-scheduled onto the GPU's SMs.
-    fn slice_time(&self, stats: &ShardStats, order: usize, elem_bytes: u64) -> f64 {
-        if stats.nnz == 0 {
-            return 0.0;
-        }
-        let gpu = &self.spec.gpus[0];
-        let blocks = (stats.nnz as usize).div_ceil(self.cfg.isp_nnz).max(1) as u64;
-        let per_block = BlockStats {
-            nnz: stats.nnz.div_ceil(blocks),
-            distinct_out: stats.distinct_out.div_ceil(blocks).max(1),
-            max_out_run: stats.max_out_run.min(stats.nnz.div_ceil(blocks)),
-            distinct_in_total: stats.distinct_in_total.div_ceil(blocks).max(1),
-            dram_factor_reads: stats.dram_factor_reads.div_ceil(blocks),
-            sorted_by_output: false, // chunk payloads arrive in file order
-            order,
-            rank: self.cfg.rank,
-            elem_bytes,
-        };
-        let concurrency = (blocks as usize).min(gpu.sms);
-        let block_cost = self.cost.block_time(gpu, &per_block, 1.0, concurrency);
-        // Equal blocks list-scheduled on `sms` SMs: ⌈blocks / sms⌉ rounds.
-        block_cost * (blocks as usize).div_ceil(gpu.sms) as f64
     }
 
     /// Runs MTTKRP for output mode `d` out of core: chunks stream from disk
@@ -203,20 +189,31 @@ impl OocEngine {
         let elem_bytes = self.reader.meta().elem_bytes();
         let rows_out = self.reader.meta().shape[d] as usize;
         let num_chunks = self.reader.meta().num_chunks();
-        let mp = &self.plan.modes[d];
+        let out = AtomicMat::zeros(rows_out, rank);
+
+        // Split borrows: the runtime and the chunk reader both take ops
+        // (&mut) while the plan feeds routing (&).
+        let Self {
+            runtime,
+            spec,
+            cost,
+            cfg,
+            reader,
+            plan,
+        } = self;
+        let runtime = runtime.as_mut();
+        let mp = &plan.modes[d];
         let loads = mp.gpu_loads();
         let active = loads.iter().filter(|&&l| l > 0).count().max(1);
-        let link = self.h2d_link(active);
-        let out = AtomicMat::zeros(rows_out, rank);
 
         // --- Per-chunk slice times and scatter times (cost model).
         let mut scatter = Vec::with_capacity(num_chunks);
         let mut compute = vec![vec![0.0f64; num_chunks]; m];
         for (k, route) in mp.chunks.iter().enumerate() {
             let slice_bytes: Vec<u64> = route.per_gpu.iter().map(|s| s.nnz * elem_bytes).collect();
-            scatter.push(host_staged_scatter_time(&link, &slice_bytes));
+            scatter.push(runtime.scatter_time(active, &slice_bytes));
             for (g, stats) in route.per_gpu.iter().enumerate() {
-                compute[g][k] = self.slice_time(stats, order, elem_bytes);
+                compute[g][k] = slice_time(cost, spec, cfg, stats, order, elem_bytes);
             }
         }
 
@@ -243,14 +240,18 @@ impl OocEngine {
         // budget and run the elementwise computation (Algorithm 2) as a grid
         // of ISP blocks. Output rows are owned by exactly one GPU, so the
         // atomic updates mirror the intra-GPU-only conflicts of the paper.
-        let gpu_sms = self.spec.gpus[0].sms;
+        // The whole chunk executes as one zero-cost grid on device 0: a
+        // host-side stand-in for functional output only — per-device
+        // placement and timing are carried by the scatter/compute arrays
+        // above, so a timeline of this engine shows compute placement in
+        // the scatter ops, not these launches.
         for k in 0..num_chunks {
-            let chunk = self.reader.load_chunk(k).map_err(|e| e.into_sim())?;
-            let isps = isp_ranges(0..chunk.nnz(), self.cfg.isp_nnz);
-            run_grid(
-                gpu_sms,
+            let chunk = reader.load_chunk(k).map_err(|e| e.into_sim())?;
+            let isps = isp_ranges(0..chunk.nnz(), cfg.isp_nnz);
+            runtime.launch_grid(
+                0,
                 isps.len(),
-                |b| {
+                &|b| {
                     let mut prod = vec![0.0f32; rank];
                     for e in isps[b].clone() {
                         let coords = chunk.coords(e);
@@ -270,9 +271,9 @@ impl OocEngine {
                         }
                     }
                 },
-                |_| 0.0, // simulated time comes from the slice model above
+                &|_| 0.0, // simulated time comes from the slice model above
             );
-            self.reader.release(chunk);
+            reader.release(chunk);
         }
 
         // --- Barrier + per-GPU breakdown.
@@ -291,10 +292,7 @@ impl OocEngine {
         // --- All-gather of the updated output rows (Algorithm 1 line 11).
         let row_bytes = rank as u64 * 4;
         let block_bytes: Vec<u64> = mp.gpu_rows().iter().map(|&r| r * row_bytes).collect();
-        let gather_time = match self.cfg.gather {
-            GatherAlgo::Ring => ring_allgather_time(&self.spec.p2p, &block_bytes),
-            GatherAlgo::HostStaged => host_staged_gather_time(&self.spec.pcie, &block_bytes),
-        };
+        let gather_time = runtime.allgather_time(cfg.gather.collective(), &block_bytes);
         for b in per_gpu.iter_mut() {
             b.p2p += gather_time;
         }
@@ -307,6 +305,39 @@ impl OocEngine {
         };
         Ok((result, timing))
     }
+}
+
+/// Simulated grid time of one per-GPU chunk slice: the slice splits into
+/// `⌈nnz / isp_nnz⌉` equal ISP blocks (unsorted payload → per-element
+/// atomics), list-scheduled onto the GPU's SMs.
+fn slice_time(
+    cost: &CostModel,
+    spec: &PlatformSpec,
+    cfg: &AmpedConfig,
+    stats: &ShardStats,
+    order: usize,
+    elem_bytes: u64,
+) -> f64 {
+    if stats.nnz == 0 {
+        return 0.0;
+    }
+    let gpu = &spec.gpus[0];
+    let blocks = (stats.nnz as usize).div_ceil(cfg.isp_nnz).max(1) as u64;
+    let per_block = BlockStats {
+        nnz: stats.nnz.div_ceil(blocks),
+        distinct_out: stats.distinct_out.div_ceil(blocks).max(1),
+        max_out_run: stats.max_out_run.min(stats.nnz.div_ceil(blocks)),
+        distinct_in_total: stats.distinct_in_total.div_ceil(blocks).max(1),
+        dram_factor_reads: stats.dram_factor_reads.div_ceil(blocks),
+        sorted_by_output: false, // chunk payloads arrive in file order
+        order,
+        rank: cfg.rank,
+        elem_bytes,
+    };
+    let concurrency = (blocks as usize).min(gpu.sms);
+    let block_cost = cost.block_time(gpu, &per_block, 1.0, concurrency);
+    // Equal blocks list-scheduled on `sms` SMs: ⌈blocks / sms⌉ rounds.
+    block_cost * (blocks as usize).div_ceil(gpu.sms) as f64
 }
 
 impl MttkrpEngine for OocEngine {
@@ -450,6 +481,10 @@ mod tests {
         write_tnsb(&t, &path, 1024).unwrap();
         let err = OocEngine::open(&path, platform(2), cfg(8), 100).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");
+        assert!(
+            err.to_string().contains("chunk staging"),
+            "staging OOM should carry its purpose: {err}"
+        );
         std::fs::remove_file(path).ok();
     }
 

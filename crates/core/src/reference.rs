@@ -42,7 +42,7 @@ pub fn mttkrp_par(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
     let r = factors[mode].cols();
     let rows = t.dim(mode) as usize;
     let out = AtomicMat::zeros(rows, r);
-    let workers = amped_sim::smexec::host_workers();
+    let workers = amped_runtime::smexec::host_workers();
     let chunk = t.nnz().div_ceil(workers).max(1);
     crossbeam::thread::scope(|s| {
         for w in 0..workers {

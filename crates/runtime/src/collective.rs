@@ -11,8 +11,12 @@
 //! which is inconsistent with its own receive index; we implement the
 //! standard schedule that matches the receive line and verify completeness by
 //! construction in tests.)
+//!
+//! Layers above this crate do not call these functions directly; collectives
+//! run through [`crate::DeviceRuntime::allgather_time`] and
+//! [`crate::DeviceRuntime::allgather_blocks`].
 
-use crate::spec::LinkSpec;
+use amped_sim::LinkSpec;
 
 /// Functional ring all-gather over arbitrary per-GPU blocks.
 ///

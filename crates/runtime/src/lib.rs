@@ -1,0 +1,48 @@
+//! The device-runtime layer: every kernel launch, transfer, collective, and
+//! device allocation in the workspace goes through the [`DeviceRuntime`]
+//! trait defined here.
+//!
+//! The layers above (the `amped-core` engines, every baseline system in
+//! `amped-baselines`, the benches) never touch the execution primitives
+//! directly; they hold a `Box<dyn DeviceRuntime>` and issue *ops*. That seam
+//! is what makes new platform scenarios — an NVLink node, multi-node rings,
+//! an eventual real-GPU backend — a matter of adding a `DeviceRuntime`
+//! implementation instead of editing six call sites.
+//!
+//! The pieces:
+//!
+//! * [`DeviceRuntime`] — the trait: grid launches returning [`GridTiming`],
+//!   H2D/D2H/scatter transfer costing, collective all-gathers (functional
+//!   and timed), and per-device memory pools with purpose-labeled
+//!   out-of-memory errors.
+//! * [`Platform`] — the per-device state a backend owns: one
+//!   [`MemPool`](amped_sim::MemPool) per GPU plus the host pool, built from
+//!   a [`PlatformSpec`](amped_sim::PlatformSpec).
+//! * [`SimRuntime`] — the default backend: wraps the deterministic
+//!   simulation primitives ([`smexec`], [`collective`]) and the
+//!   `amped-sim` cost model, preserving the pre-extraction behavior bit
+//!   for bit (proved by `tests/runtime_equivalence.rs` at the workspace
+//!   root).
+//! * [`TracingRuntime`] — a decorator over any backend that records an
+//!   op-level timeline (op kind, device, bytes, simulated start/end); see
+//!   `examples/timeline.rs`.
+//! * [`smexec`] / [`collective`] — the execution primitives themselves
+//!   (grid executor, ring all-gather), moved here from `amped-sim` so that
+//!   no caller outside this crate reaches them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod device;
+pub mod sim_runtime;
+pub mod smexec;
+pub mod tracing;
+
+mod runtime;
+
+pub use device::{Device, Platform};
+pub use runtime::{Collective, DeviceRuntime, FactorBlock};
+pub use sim_runtime::SimRuntime;
+pub use smexec::GridTiming;
+pub use tracing::{OpKind, OpRecord, Timeline, TracingRuntime};

@@ -1,0 +1,183 @@
+//! The default backend: deterministic simulation on host threads.
+
+use crate::collective::{
+    host_staged_gather_time, host_staged_scatter_time, ring_allgather, ring_allgather_time,
+};
+use crate::device::{Device, Platform};
+use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
+use crate::smexec::{list_schedule_makespan, run_grid, GridTiming};
+use amped_sim::{MemPool, PlatformSpec, SimError};
+
+/// [`DeviceRuntime`] backed by the deterministic platform simulator: kernels
+/// execute for real on host threads, time comes from the `amped-sim` cost
+/// model, memory is tracked in the owned [`Platform`] pools.
+///
+/// This backend reproduces the pre-extraction behavior of the engines and
+/// baselines bit for bit (`tests/runtime_equivalence.rs`).
+#[derive(Clone, Debug)]
+pub struct SimRuntime {
+    platform: Platform,
+}
+
+impl SimRuntime {
+    /// A simulated runtime for `spec`.
+    pub fn new(spec: PlatformSpec) -> Self {
+        Self {
+            platform: Platform::new(spec),
+        }
+    }
+
+    /// The owned device set.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl DeviceRuntime for SimRuntime {
+    fn spec(&self) -> &PlatformSpec {
+        self.platform.spec()
+    }
+
+    fn mem(&self, device: Device) -> &MemPool {
+        self.platform.mem(device)
+    }
+
+    fn makespan(&self, gpu: usize, costs: &[f64]) -> GridTiming {
+        list_schedule_makespan(self.spec().gpus[gpu].sms, costs.iter().copied())
+    }
+
+    fn alloc(&mut self, device: Device, bytes: u64, purpose: &str) -> Result<(), SimError> {
+        self.platform.alloc(device, bytes, purpose)
+    }
+
+    fn free(&mut self, device: Device, bytes: u64) {
+        self.platform.free(device, bytes);
+    }
+
+    fn reset_mem(&mut self) {
+        self.platform.reset_mem();
+    }
+
+    fn launch_grid(
+        &mut self,
+        gpu: usize,
+        blocks: usize,
+        kernel: &(dyn Fn(usize) + Sync),
+        block_cost: &dyn Fn(usize) -> f64,
+    ) -> GridTiming {
+        run_grid(self.spec().gpus[gpu].sms, blocks, kernel, block_cost)
+    }
+
+    fn h2d_time(&mut self, _gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.h2d_link(active).transfer_time(bytes)
+    }
+
+    fn d2h_time(&mut self, _gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.h2d_link(active).transfer_time(bytes)
+    }
+
+    fn scatter_time(&mut self, active: usize, slice_bytes: &[u64]) -> f64 {
+        host_staged_scatter_time(&self.h2d_link(active), slice_bytes)
+    }
+
+    fn allgather_time(&mut self, algo: Collective, block_bytes: &[u64]) -> f64 {
+        match algo {
+            Collective::Ring => ring_allgather_time(&self.spec().p2p, block_bytes),
+            Collective::HostStaged => host_staged_gather_time(&self.spec().pcie, block_bytes),
+        }
+    }
+
+    fn allgather_blocks(&mut self, blocks: &[FactorBlock]) -> Vec<Vec<FactorBlock>> {
+        ring_allgather(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_sim::AtomicMat;
+
+    fn rt(m: usize) -> SimRuntime {
+        SimRuntime::new(PlatformSpec::rtx6000_ada_node(m).scaled(1e-3))
+    }
+
+    #[test]
+    fn launch_grid_executes_and_times() {
+        let mut r = rt(1);
+        let sms = r.spec().gpus[0].sms;
+        let hits = AtomicMat::zeros(1, 64);
+        let t = r.launch_grid(0, 64, &|b| hits.add(0, b, 1.0), &|_| 0.5);
+        assert_eq!(hits.to_vec(), vec![1.0; 64]);
+        assert_eq!(t.blocks, 64);
+        // 64 equal blocks on `sms` SMs: ⌈64/sms⌉ rounds of 0.5.
+        assert_eq!(t.makespan, 0.5 * 64usize.div_ceil(sms) as f64);
+    }
+
+    #[test]
+    fn makespan_matches_launch_timing() {
+        let mut r = rt(2);
+        let costs: Vec<f64> = (0..100).map(|b| (b % 7) as f64 * 0.1).collect();
+        let planned = r.makespan(1, &costs);
+        let launched = r.launch_grid(1, costs.len(), &|_| {}, &|b| costs[b]);
+        assert_eq!(planned, launched);
+    }
+
+    #[test]
+    fn h2d_uses_the_effective_link() {
+        let mut r = rt(8);
+        // 1 active GPU: full PCIe; 8 active: host aggregate bound.
+        let alone = r.h2d_time(0, 1, 1_000_000_000);
+        let crowded = r.h2d_time(0, 8, 1_000_000_000);
+        assert!(crowded > alone, "{crowded} vs {alone}");
+        assert_eq!(alone, r.h2d_link(1).transfer_time(1_000_000_000));
+        // d2h is symmetric on this platform.
+        assert_eq!(r.d2h_time(3, 4, 12345), r.h2d_time(3, 4, 12345));
+    }
+
+    #[test]
+    fn scatter_costs_slowest_slice() {
+        let mut r = rt(2);
+        let t = r.scatter_time(2, &[1_000, 2_000]);
+        assert_eq!(t, r.h2d_link(2).transfer_time(2_000));
+        assert_eq!(r.scatter_time(2, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn allgather_blocks_delivers_everything() {
+        let mut r = rt(4);
+        let blocks: Vec<FactorBlock> = (0..4)
+            .map(|g| FactorBlock {
+                rows: vec![g as u32],
+                data: vec![g as f32; 8],
+            })
+            .collect();
+        let gathered = r.allgather_blocks(&blocks);
+        assert_eq!(gathered.len(), 4);
+        for row in &gathered {
+            assert_eq!(row, &blocks);
+        }
+    }
+
+    #[test]
+    fn ring_beats_host_staged_for_bulk() {
+        let mut r = SimRuntime::new(PlatformSpec::rtx6000_ada_node(4));
+        let blocks = [64_000_000u64; 4];
+        let ring = r.allgather_time(Collective::Ring, &blocks);
+        let staged = r.allgather_time(Collective::HostStaged, &blocks);
+        assert!(
+            ring < staged,
+            "ring {ring} should beat host-staged {staged}"
+        );
+    }
+
+    #[test]
+    fn memory_ops_route_to_the_platform_pools() {
+        let mut r = rt(2);
+        r.alloc(Device::Gpu(1), 100, "factor matrices").unwrap();
+        assert_eq!(r.mem(Device::Gpu(1)).used(), 100);
+        assert_eq!(r.platform().gpu_mem_peak(), 100);
+        r.free(Device::Gpu(1), 100);
+        r.reset_mem();
+        assert_eq!(r.platform().gpu_mem_peak(), 0);
+    }
+}

@@ -7,11 +7,14 @@
 //! * **Real execution** — every block's closure runs on a host worker pool
 //!   (blocks are claimed with an atomic counter, just like hardware block
 //!   scheduling), producing real numeric output.
-//! * **Simulated time** — per-block costs from the [`crate::costmodel`] are
-//!   list-scheduled in block order onto `sms` virtual SMs; the resulting
+//! * **Simulated time** — per-block costs from the `amped-sim` cost model
+//!   are list-scheduled in block order onto `sms` virtual SMs; the resulting
 //!   makespan is the grid's simulated execution time. This is exactly the
 //!   greedy assignment hardware performs, and it is deterministic because it
 //!   depends only on the block cost sequence, never on host thread timing.
+//!
+//! Layers above this crate do not call [`run_grid`] directly; they launch
+//! grids through [`crate::DeviceRuntime`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -95,8 +98,8 @@ pub fn host_workers() -> usize {
 /// `block_cost(block_index)`.
 ///
 /// `kernel` must be safe to call concurrently for distinct block indices —
-/// shared output must go through [`crate::AtomicMat`] or other `Sync` state,
-/// exactly mirroring the atomics requirement of Algorithm 2.
+/// shared output must go through [`amped_sim::AtomicMat`] or other `Sync`
+/// state, exactly mirroring the atomics requirement of Algorithm 2.
 pub fn run_grid<K, C>(sms: usize, num_blocks: usize, kernel: K, block_cost: C) -> GridTiming
 where
     K: Fn(usize) + Sync,
@@ -128,7 +131,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::AtomicMat;
+    use amped_sim::AtomicMat;
 
     #[test]
     fn makespan_single_sm_is_sum() {

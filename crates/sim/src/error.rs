@@ -12,6 +12,10 @@ pub enum SimError {
     OutOfMemory {
         /// Which memory pool rejected the request (e.g. `"gpu0"`, `"host"`).
         device: String,
+        /// What was being allocated (e.g. `"factor matrices"`,
+        /// `"chunk staging"`) — the tag callers pass to
+        /// [`crate::MemPool::alloc`].
+        purpose: String,
         /// Bytes requested by the failing allocation.
         requested: u64,
         /// Total capacity of the pool.
@@ -27,9 +31,9 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::OutOfMemory { device, requested, capacity, in_use } => write!(
+            SimError::OutOfMemory { device, purpose, requested, capacity, in_use } => write!(
                 f,
-                "out of memory on {device}: requested {requested} B with {in_use}/{capacity} B in use"
+                "out of memory on {device} allocating {purpose}: requested {requested} B with {in_use}/{capacity} B in use"
             ),
             SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
@@ -53,12 +57,14 @@ mod tests {
     fn display_is_informative() {
         let e = SimError::OutOfMemory {
             device: "gpu0".into(),
+            purpose: "factor matrices".into(),
             requested: 100,
             capacity: 64,
             in_use: 10,
         };
         let s = e.to_string();
         assert!(s.contains("gpu0") && s.contains("100") && s.contains("64"));
+        assert!(s.contains("factor matrices"), "{s}");
         assert!(e.is_oom());
         assert!(!SimError::Unsupported("x".into()).is_oom());
     }

@@ -17,24 +17,22 @@
 //! * [`costmodel`] — the elementwise-computation kernel cost model
 //!   (bandwidth-bound, with L2 reuse and atomic-contention terms) and link
 //!   transfer times. Every calibration constant lives here.
-//! * [`smexec`] — the grid executor: runs threadblocks for real on a worker
-//!   pool and produces a deterministic makespan by list-scheduling the
-//!   per-block costs onto the GPU's streaming multiprocessors.
 //! * [`atomics`] — lock-free `f32` accumulation ([`AtomicMat`]), the Rust
 //!   equivalent of the CUDA `atomicAdd` in Algorithm 2 lines 18–19.
-//! * [`collective`] — the ring all-gather of Algorithm 3, both functional and
-//!   timed.
 //! * [`metrics`] — per-GPU time breakdowns (Fig. 7) and run reports.
+//!
+//! The *execution* primitives — the grid executor and the ring all-gather —
+//! live one layer up in `amped-runtime`, behind its `DeviceRuntime` trait;
+//! this crate provides the specs, cost arithmetic, and accounting those
+//! backends are built from.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomics;
-pub mod collective;
 pub mod costmodel;
 pub mod memory;
 pub mod metrics;
-pub mod smexec;
 pub mod spec;
 
 mod error;

@@ -53,11 +53,14 @@ impl MemPool {
     }
 
     /// Allocates `bytes`, failing with [`SimError::OutOfMemory`] if the pool
-    /// cannot hold them.
-    pub fn alloc(&mut self, bytes: u64) -> Result<(), SimError> {
+    /// cannot hold them. `purpose` is a short tag naming *what* was being
+    /// allocated (e.g. `"factor matrices"`, `"chunk staging"`); it travels
+    /// in the error so an OOM diagnoses itself.
+    pub fn alloc(&mut self, bytes: u64, purpose: &str) -> Result<(), SimError> {
         if bytes > self.available() {
             return Err(SimError::OutOfMemory {
                 device: self.label.clone(),
+                purpose: purpose.to_string(),
                 requested: bytes,
                 capacity: self.capacity,
                 in_use: self.used,
@@ -83,9 +86,16 @@ impl MemPool {
         self.used -= bytes;
     }
 
-    /// Releases everything (end of a run).
+    /// Releases everything (end of a run). Keeps the high-water mark.
     pub fn reset(&mut self) {
         self.used = 0;
+    }
+
+    /// Releases everything *and* clears the high-water mark — the start of a
+    /// fresh run whose peak should be measured in isolation.
+    pub fn clear(&mut self) {
+        self.used = 0;
+        self.peak = 0;
     }
 }
 
@@ -96,8 +106,8 @@ mod tests {
     #[test]
     fn alloc_free_cycle() {
         let mut p = MemPool::new("gpu0", 100);
-        p.alloc(60).unwrap();
-        p.alloc(40).unwrap();
+        p.alloc(60, "a").unwrap();
+        p.alloc(40, "b").unwrap();
         assert_eq!(p.used(), 100);
         assert_eq!(p.available(), 0);
         p.free(50);
@@ -108,15 +118,17 @@ mod tests {
     #[test]
     fn oom_reports_context() {
         let mut p = MemPool::new("gpu1", 100);
-        p.alloc(80).unwrap();
-        match p.alloc(30) {
+        p.alloc(80, "resident tensor").unwrap();
+        match p.alloc(30, "stream buffers") {
             Err(SimError::OutOfMemory {
                 device,
+                purpose,
                 requested,
                 capacity,
                 in_use,
             }) => {
                 assert_eq!(device, "gpu1");
+                assert_eq!(purpose, "stream buffers");
                 assert_eq!(requested, 30);
                 assert_eq!(capacity, 100);
                 assert_eq!(in_use, 80);
@@ -128,24 +140,33 @@ mod tests {
     }
 
     #[test]
+    fn clear_resets_usage_and_peak() {
+        let mut p = MemPool::new("x", 10);
+        p.alloc(7, "x").unwrap();
+        p.clear();
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.peak(), 0);
+    }
+
+    #[test]
     fn exact_fit_succeeds() {
         let mut p = MemPool::new("x", 10);
-        assert!(p.alloc(10).is_ok());
-        assert!(p.alloc(1).is_err());
+        assert!(p.alloc(10, "x").is_ok());
+        assert!(p.alloc(1, "x").is_err());
     }
 
     #[test]
     #[should_panic(expected = "freeing")]
     fn over_free_panics() {
         let mut p = MemPool::new("x", 10);
-        p.alloc(5).unwrap();
+        p.alloc(5, "x").unwrap();
         p.free(6);
     }
 
     #[test]
     fn reset_clears_usage_but_keeps_peak() {
         let mut p = MemPool::new("x", 10);
-        p.alloc(7).unwrap();
+        p.alloc(7, "x").unwrap();
         p.reset();
         assert_eq!(p.used(), 0);
         assert_eq!(p.peak(), 7);

@@ -116,6 +116,7 @@ mod tests {
     fn oom_passes_through_into_sim() {
         let oom = SimError::OutOfMemory {
             device: "host-stage".into(),
+            purpose: "chunk staging".into(),
             requested: 10,
             capacity: 5,
             in_use: 0,

@@ -7,7 +7,7 @@
 //! crate removes that wall with three pieces, following the chunked
 //! out-of-memory MTTKRP recipe of Nguyen et al.:
 //!
-//! * [`format`] — the `.tnsb` chunked binary tensor format: fixed-capacity
+//! * [`mod@format`] — the `.tnsb` chunked binary tensor format: fixed-capacity
 //!   nonzero chunks plus a metadata footer (per-mode histograms, per-chunk
 //!   index bounding boxes, `‖X‖²`) that lets planning run without payload
 //!   I/O. Writers stream ([`TnsbWriter`]), and [`convert_tns_to_tnsb`]

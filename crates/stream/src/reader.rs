@@ -96,7 +96,7 @@ impl ChunkReader {
     /// used by the streaming partitioner for its per-slice coordinate
     /// gather, so *all* transient host memory is accounted.
     pub fn charge_scratch(&mut self, bytes: u64) -> Result<(), StreamError> {
-        self.budget.alloc(bytes)?;
+        self.budget.alloc(bytes, "partitioning scratch")?;
         Ok(())
     }
 
@@ -111,7 +111,7 @@ impl ChunkReader {
     pub fn load_chunk(&mut self, c: usize) -> Result<Chunk, StreamError> {
         assert!(c < self.meta.num_chunks(), "chunk {c} out of range");
         let bytes = self.meta.chunk_bytes(c);
-        self.budget.alloc(bytes)?;
+        self.budget.alloc(bytes, "chunk staging")?;
         match self.read_payload(c) {
             Ok((coords, values)) => Ok(Chunk {
                 index: c,

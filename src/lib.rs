@@ -2,8 +2,9 @@
 //!
 //! Facade crate re-exporting the whole workspace: the AMPED engine
 //! ([`amped_core`]), the sparse tensor substrate ([`amped_tensor`]), the
-//! simulated multi-GPU platform ([`amped_sim`]), the partitioner
-//! ([`amped_partition`]), the out-of-core streaming pipeline
+//! simulated multi-GPU platform ([`amped_sim`]), the device-runtime layer
+//! every engine and baseline executes through ([`amped_runtime`]), the
+//! partitioner ([`amped_partition`]), the out-of-core streaming pipeline
 //! ([`amped_stream`]), the baseline formats ([`amped_formats`]) and
 //! systems ([`amped_baselines`]), and the dense linear algebra
 //! ([`amped_linalg`]).
@@ -18,6 +19,7 @@
 //! cargo run --release --example multi_gpu_scaling
 //! cargo run --release --example out_of_core
 //! cargo run --release --example stream_ooc
+//! cargo run --release --example timeline
 //! cargo run --release --example twitch_5mode
 //! ```
 
@@ -28,6 +30,7 @@ pub use amped_core as core;
 pub use amped_formats as formats;
 pub use amped_linalg as linalg;
 pub use amped_partition as partition;
+pub use amped_runtime as runtime;
 pub use amped_sim as sim;
 pub use amped_stream as stream;
 pub use amped_tensor as tensor;
@@ -46,6 +49,10 @@ pub mod prelude {
     };
     pub use amped_linalg::Mat;
     pub use amped_partition::{EqualPlan, ModePlan, PartitionPlan};
+    pub use amped_runtime::{
+        Collective, Device, DeviceRuntime, GridTiming, Platform, SimRuntime, Timeline,
+        TracingRuntime,
+    };
     pub use amped_sim::metrics::{geomean, RunReport};
     pub use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
     pub use amped_stream::{
