@@ -11,6 +11,7 @@
 use crate::system::{pipeline_time, Capabilities, MttkrpSystem, SystemRun};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, EqualPlan, ShardStats};
+use amped_plan::{EqualSplit, Partitioner, PlanStats, UniformCost};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
@@ -73,9 +74,22 @@ impl MttkrpSystem for EqualNnzSystem {
         let row_bytes = rank as u64 * 4;
 
         // --- Preprocess: none beyond chunk bookkeeping (that is the
-        // scheme's one advantage — no sorted copies needed).
+        // scheme's one advantage — no sorted copies needed). The split goes
+        // through the planner layer's [`EqualSplit`] policy, which consumes
+        // only the nonzero total (the empty histogram keeps the
+        // no-preprocessing property honest).
         let pre_start = std::time::Instant::now();
-        let plans: Vec<EqualPlan> = (0..order).map(|d| EqualPlan::build(tensor, d, m)).collect();
+        let planner = EqualSplit;
+        let plan_stats = PlanStats {
+            nnz: tensor.nnz() as u64,
+        };
+        let split_cost = UniformCost::new(m);
+        let plans: Vec<EqualPlan> = (0..order)
+            .map(|d| {
+                let a = planner.plan_mode(d, &[], &plan_stats, &split_cost);
+                EqualPlan::build_from_ranges(tensor, d, &a.element_ranges())
+            })
+            .collect();
         let preprocess_wall = pre_start.elapsed().as_secs_f64();
 
         // --- Memory: one host copy; per GPU factors + stream buffers (sized

@@ -1,0 +1,172 @@
+//! Compares two `BENCH_*.json` snapshots (as written by `bench_snapshot`
+//! through [`amped_bench::reportio::emit`]) and reports per-entry deltas,
+//! flagging regressions beyond 10%.
+//!
+//! Usage: `cargo run --release -p amped-bench --bin bench_diff -- \
+//!           BENCH_seed.json BENCH_pr4.json [--fail-on-regression]`
+//!
+//! The comparison is *informational* by design — snapshots from different
+//! machines (or different background load) drift, so CI runs it without
+//! `--fail-on-regression` and humans read the table. Entries present in
+//! only one snapshot are listed as added/removed, never flagged.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Regression threshold: entries slower by more than this fraction are
+/// flagged.
+const THRESHOLD: f64 = 0.10;
+
+/// One snapshot: label plus `benchmark name → median seconds`.
+struct Snapshot {
+    label: String,
+    entries: Vec<(String, f64)>,
+}
+
+fn obj_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Parses a median cell like `"12.345 ms"` into seconds.
+fn parse_median(cell: &str) -> Option<f64> {
+    let mut it = cell.split_whitespace();
+    let num: f64 = it.next()?.parse().ok()?;
+    let unit = it.next()?;
+    let scale = match unit {
+        "s" => 1.0,
+        "ms" => 1e-3,
+        "us" | "µs" => 1e-6,
+        "ns" => 1e-9,
+        _ => return None,
+    };
+    Some(num * scale)
+}
+
+fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let table = obj_get(&root, "table").ok_or_else(|| format!("{path}: no `table` object"))?;
+    let rows = match obj_get(table, "rows") {
+        Some(Value::Arr(rows)) => rows,
+        _ => return Err(format!("{path}: no `table.rows` array")),
+    };
+    let mut entries = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = match row {
+            Value::Arr(cells) => cells,
+            _ => return Err(format!("{path}: row {i} is not an array")),
+        };
+        let (name, median) = match (cells.first(), cells.get(1)) {
+            (Some(Value::Str(n)), Some(Value::Str(m))) => (n.clone(), m),
+            _ => return Err(format!("{path}: row {i} lacks name/median cells")),
+        };
+        let _ = i;
+        // Rows without a time median (e.g. informational ratio rows) are
+        // not comparable entries; skip them.
+        let Some(secs) = parse_median(median) else {
+            continue;
+        };
+        entries.push((name, secs));
+    }
+    let label = match obj_get(&root, "extra").and_then(|e| obj_get(e, "label")) {
+        Some(Value::Str(l)) => l.clone(),
+        _ => path.to_string(),
+    };
+    Ok(Snapshot { label, entries })
+}
+
+fn run(before_path: &str, after_path: &str, fail_on_regression: bool) -> Result<ExitCode, String> {
+    let before = load_snapshot(before_path)?;
+    let after = load_snapshot(after_path)?;
+    println!(
+        "# bench_diff: `{}` → `{}` (flagging > {:.0}% regressions)\n",
+        before.label,
+        after.label,
+        THRESHOLD * 100.0
+    );
+    println!(
+        "| benchmark | {} | {} | delta | |",
+        before.label, after.label
+    );
+    println!("|---|---|---|---|---|");
+    let mut regressions = 0usize;
+    for (name, b_secs) in &before.entries {
+        let Some((_, a_secs)) = after.entries.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *b_secs <= 0.0 {
+            println!(
+                "| {name} | {:.3} ms | {:.3} ms | — | |",
+                b_secs * 1e3,
+                a_secs * 1e3
+            );
+            continue;
+        }
+        let delta = a_secs / b_secs - 1.0;
+        let flag = if delta > THRESHOLD {
+            regressions += 1;
+            "REGRESSION"
+        } else if delta < -THRESHOLD {
+            "improved"
+        } else {
+            ""
+        };
+        println!(
+            "| {name} | {:.3} ms | {:.3} ms | {:+.1}% | {flag} |",
+            b_secs * 1e3,
+            a_secs * 1e3,
+            delta * 100.0
+        );
+    }
+    let removed: Vec<&str> = before
+        .entries
+        .iter()
+        .filter(|(n, _)| !after.entries.iter().any(|(m, _)| m == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let added: Vec<&str> = after
+        .entries
+        .iter()
+        .filter(|(n, _)| !before.entries.iter().any(|(m, _)| m == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if !removed.is_empty() {
+        println!("\nonly in `{}`: {}", before.label, removed.join(", "));
+    }
+    if !added.is_empty() {
+        println!("\nonly in `{}`: {}", after.label, added.join(", "));
+    }
+    if regressions > 0 {
+        println!(
+            "\n{regressions} entr{} regressed beyond {:.0}%.",
+            if regressions == 1 { "y" } else { "ies" },
+            THRESHOLD * 100.0
+        );
+        if fail_on_regression {
+            return Ok(ExitCode::FAILURE);
+        }
+    } else {
+        println!("\nno regressions beyond {:.0}%.", THRESHOLD * 100.0);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [before, after] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <before.json> <after.json> [--fail-on-regression]");
+        return ExitCode::FAILURE;
+    };
+    match run(before, after, fail_on_regression) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,11 +13,29 @@
 
 use crate::engine::MttkrpEngine;
 use amped_linalg::{cholesky, hadamard_grams, model_norm_sq, Mat};
+use amped_plan::{NnzCcp, Partitioner, PlanStats, RebalancingPlanner, UniformCost};
 use amped_sim::metrics::RunReport;
 use amped_sim::SimError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
+
+/// ALS-time rebalancing options: between iterations, any mode whose
+/// per-GPU compute imbalance overhead `(max − min)/max` exceeds
+/// `threshold` is replanned with CCP over *observed* per-device throughput
+/// (see [`RebalancingPlanner`]) and swapped into the engine via
+/// [`MttkrpEngine::replan`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RebalanceOptions {
+    /// Imbalance overhead fraction that triggers a replan.
+    pub threshold: f64,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        Self { threshold: 0.15 }
+    }
+}
 
 /// CP-ALS options.
 #[derive(Clone, Debug, Serialize)]
@@ -28,6 +46,9 @@ pub struct AlsOptions {
     pub tol: f64,
     /// Seed for the random factor initialization.
     pub seed: u64,
+    /// ALS-time rebalancing; `None` (the default) keeps the static plan for
+    /// the whole decomposition — the paper's configuration.
+    pub rebalance: Option<RebalanceOptions>,
 }
 
 impl Default for AlsOptions {
@@ -36,6 +57,7 @@ impl Default for AlsOptions {
             max_iters: 25,
             tol: 1e-5,
             seed: 0,
+            rebalance: None,
         }
     }
 }
@@ -54,6 +76,13 @@ pub struct AlsResult {
     pub iterations: usize,
     /// Simulated time report accumulated over all MTTKRP calls.
     pub report: RunReport,
+    /// Per-iteration reports (the trace the rebalancing experiments plot:
+    /// `per_iteration[i].compute_overhead_fraction()` should fall once a
+    /// replan lands).
+    pub per_iteration: Vec<RunReport>,
+    /// Replans actually applied to the engine (0 without
+    /// [`AlsOptions::rebalance`]).
+    pub rebalances: usize,
 }
 
 /// Runs CP-ALS using `engine` for every MTTKRP. The tensor and rank are the
@@ -80,9 +109,19 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
     };
     let mut fits = Vec::new();
     let mut iterations = 0;
+    let mut per_iteration: Vec<RunReport> = Vec::new();
+    let mut rebalancer = opts
+        .rebalance
+        .map(|r| RebalancingPlanner::new(Box::new(NnzCcp), r.threshold));
+    let mut rebalances = 0usize;
 
     for _iter in 0..opts.max_iters {
         let mut last_m: Option<Mat> = None;
+        let mut iter_report = RunReport {
+            per_gpu: vec![Default::default(); engine.num_gpus()],
+            ..Default::default()
+        };
+        let mut iter_timings = Vec::with_capacity(n);
         for d in 0..n {
             let (m, timing) = engine.mttkrp_mode(d, &factors)?;
             for (acc, g) in report.per_gpu.iter_mut().zip(&timing.per_gpu) {
@@ -90,6 +129,12 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
             }
             report.total_time += timing.wall;
             report.per_mode.push(timing.wall);
+            for (acc, g) in iter_report.per_gpu.iter_mut().zip(&timing.per_gpu) {
+                acc.add(g);
+            }
+            iter_report.total_time += timing.wall;
+            iter_report.per_mode.push(timing.wall);
+            iter_timings.push(timing);
 
             let v = hadamard_grams(&grams, Some(d));
             let chol = cholesky(&v, 1e-12)
@@ -125,10 +170,51 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
             .map(|&prev: &f64| (fit - prev).abs() < opts.tol)
             .unwrap_or(false);
         fits.push(fit);
+        per_iteration.push(iter_report);
         if done {
             break;
         }
+
+        // --- ALS-time rebalancing (between iterations): any mode whose
+        // observed per-GPU compute times are imbalanced beyond the
+        // threshold gets replanned with observed-throughput CCP and swapped
+        // into the engine — the factors are untouched, only the shard→GPU
+        // assignment changes. Skipped after the final iteration: a replan
+        // nothing will run under is pure waste (out of core it would even
+        // rescan every chunk).
+        let last_iter = iterations == opts.max_iters;
+        if let (Some(rb), false) = (rebalancer.as_mut(), last_iter) {
+            for timing in &iter_timings {
+                let d = timing.mode;
+                let loads = engine.mode_loads(d);
+                let computes: Vec<f64> = timing.per_gpu.iter().map(|b| b.compute).collect();
+                if loads.len() != computes.len() {
+                    // e.g. the dynamic-queue ablation plans one global pool:
+                    // there is no per-GPU ownership to rebalance.
+                    return Err(SimError::Unsupported(format!(
+                        "ALS-time rebalancing needs per-GPU load accounting: mode {d} reports \
+                         {} owned loads for {} GPUs (dynamic-queue schedules cannot rebalance)",
+                        loads.len(),
+                        computes.len()
+                    )));
+                }
+                if rb.observe(d, &computes, &loads) {
+                    let hist = engine.mode_hist(d);
+                    let stats = PlanStats {
+                        nnz: hist.iter().sum(),
+                    };
+                    let a = rb.plan_mode(d, &hist, &stats, &UniformCost::new(engine.num_gpus()));
+                    engine.replan(&a)?;
+                    rebalances += 1;
+                }
+            }
+        }
     }
+
+    // Replans add real preprocessing wall time to the engine; refresh the
+    // snapshot taken before the loop so the report carries the full cost
+    // the rebalance threshold traded against.
+    report.preprocess_wall = engine.preprocess_wall();
 
     Ok(AlsResult {
         factors,
@@ -136,6 +222,8 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
         fits,
         iterations,
         report,
+        per_iteration,
+        rebalances,
     })
 }
 
@@ -167,6 +255,7 @@ mod tests {
                 max_iters: 60,
                 tol: 1e-9,
                 seed: 5,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -188,6 +277,7 @@ mod tests {
                 max_iters: 15,
                 tol: 0.0,
                 seed: 6,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -212,6 +302,7 @@ mod tests {
                 max_iters: 3,
                 tol: 0.0,
                 seed: 7,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -232,6 +323,7 @@ mod tests {
                 max_iters: 50,
                 tol: 1e-3,
                 seed: 8,
+                ..Default::default()
             },
         )
         .unwrap();

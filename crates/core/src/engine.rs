@@ -10,7 +10,11 @@
 
 use crate::config::{AmpedConfig, GatherAlgo, SchedulePolicy};
 use amped_linalg::Mat;
-use amped_partition::{isp_ranges, PartitionPlan, ShardStats};
+use amped_partition::{isp_ranges, ModePlan, PartitionPlan, ShardStats};
+use amped_plan::{
+    AssignmentSpace, CostQuery, ModeAssignment, NnzCcp, Partitioner, PlanStats, PlatformCostQuery,
+    UniformCost, WorkloadProfile,
+};
 use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
@@ -53,6 +57,18 @@ pub trait MttkrpEngine {
 
     /// Real wall-clock seconds spent in preprocessing (partition planning).
     fn preprocess_wall(&self) -> f64;
+
+    /// Output-index histogram of mode `d` — the planner input ALS-time
+    /// rebalancing re-runs CCP over.
+    fn mode_hist(&self, d: usize) -> Vec<u64>;
+
+    /// Nonzeros owned by each GPU under the current mode-`d` assignment.
+    fn mode_loads(&self, d: usize) -> Vec<u64>;
+
+    /// Swaps mode `assignment.mode`'s device assignment in place —
+    /// re-shards under the new ranges without rebuilding the engine, so
+    /// [`crate::als::cp_als`] can rebalance between iterations.
+    fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError>;
 }
 
 /// One inter-shard partition prepared for execution.
@@ -105,11 +121,31 @@ impl AmpedEngine {
 
     /// Partitions `tensor` for execution through an explicit `runtime` —
     /// the seam that lets the same engine run on the plain simulator, a
-    /// [`amped_runtime::TracingRuntime`], or any future backend.
+    /// [`amped_runtime::TracingRuntime`], or any future backend. Planning
+    /// uses the default nnz-weighted CCP policy ([`NnzCcp`]).
     pub fn with_runtime(
+        tensor: &SparseTensor,
+        runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_planner(tensor, runtime, cfg, &NnzCcp)
+    }
+
+    /// Partitions `tensor` through an explicit runtime **and** an explicit
+    /// [`Partitioner`] policy — the planner seam. The planner receives each
+    /// mode's output-index histogram plus a [`PlatformCostQuery`] over the
+    /// runtime's spec, so cost-guided policies
+    /// ([`amped_plan::CostGuidedCcp`]) see modeled per-device throughput;
+    /// with [`NnzCcp`] this is bit-identical to the pre-planner engine
+    /// (`tests/runtime_equivalence.rs`).
+    ///
+    /// Fails with [`SimError::Unsupported`] if the planner produces an
+    /// element-space or malformed assignment.
+    pub fn with_planner(
         tensor: &SparseTensor,
         mut runtime: Box<dyn DeviceRuntime>,
         cfg: AmpedConfig,
+        planner: &dyn Partitioner,
     ) -> Result<Self, SimError> {
         let mut cfg = cfg;
         cfg.validate().map_err(SimError::Unsupported)?;
@@ -149,7 +185,7 @@ impl AmpedEngine {
             SchedulePolicy::StaticCcp => m,
             SchedulePolicy::DynamicQueue => 1,
         };
-        let plan = PartitionPlan::build(tensor, plan_gpus, cfg.shard_nnz_budget);
+        let plan = build_partition_plan(tensor, planner, &spec, &cfg, plan_gpus)?;
 
         // --- Host memory: all per-mode tensor copies live there (§3.1).
         runtime.alloc(Device::Host, plan.host_bytes(), "per-mode tensor copies")?;
@@ -195,6 +231,64 @@ impl AmpedEngine {
     /// Peak GPU memory charged, in bytes (max over GPUs).
     pub fn gpu_mem_peak(&self) -> u64 {
         self.runtime.gpu_mem_peak()
+    }
+
+    /// Swaps mode `assignment.mode`'s device assignment: re-shards the
+    /// stored mode-sorted tensor copy under the new output-index ranges and
+    /// recomputes the mode's execution schedule, leaving every other mode
+    /// (and all device memory) untouched. This is the ALS-time rebalancing
+    /// path — [`crate::als::cp_als`] calls it between iterations when a
+    /// [`amped_plan::RebalancingPlanner`] triggers.
+    pub fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
+        if self.cfg.schedule != SchedulePolicy::StaticCcp {
+            return Err(SimError::Unsupported(
+                "replanning requires the static CCP schedule: dynamic-queue ownership is \
+                 decided per run"
+                    .into(),
+            ));
+        }
+        let d = assignment.mode;
+        let order = self.plan.modes.len();
+        if d >= order {
+            return Err(SimError::Unsupported(format!(
+                "replan mode {d} out of range for order {order}"
+            )));
+        }
+        if assignment.space != AssignmentSpace::OutputIndex {
+            return Err(SimError::Unsupported(
+                "engine replan requires an output-index assignment".into(),
+            ));
+        }
+        if assignment.num_devices() != self.spec.num_gpus() {
+            return Err(SimError::Unsupported(format!(
+                "assignment targets {} devices, platform has {}",
+                assignment.num_devices(),
+                self.spec.num_gpus()
+            )));
+        }
+        let dim = self.plan.modes[d].tensor.dim(d) as u64;
+        assignment.validate(dim).map_err(SimError::Unsupported)?;
+        let start = std::time::Instant::now();
+        // The stored copy is already mode-sorted; the counting sort inside
+        // `build_with_ranges` is stable, so re-sharding it is exact.
+        let mp = ModePlan::build_with_ranges(
+            &self.plan.modes[d].tensor,
+            d,
+            assignment.index_ranges(),
+            self.cfg.shard_nnz_budget,
+        );
+        self.plan.modes[d] = mp;
+        let cost = CostModel::default();
+        self.mode_shards[d] = prepare_mode(
+            self.runtime.as_ref(),
+            &self.spec,
+            &cost,
+            &self.cfg,
+            &self.plan,
+            d,
+        );
+        self.plan.preprocess_wall += start.elapsed().as_secs_f64();
+        Ok(())
     }
 
     /// Host memory charged for tensor copies, in bytes.
@@ -393,9 +487,69 @@ impl GatherAlgo {
     }
 }
 
+/// Runs the planner for every mode and materializes the assignments into a
+/// [`PartitionPlan`] — the histogram → [`Partitioner`] → ranges → shards
+/// wiring shared by every in-core planning policy.
+fn build_partition_plan(
+    tensor: &SparseTensor,
+    planner: &dyn Partitioner,
+    spec: &PlatformSpec,
+    cfg: &AmpedConfig,
+    plan_gpus: usize,
+) -> Result<PartitionPlan, SimError> {
+    let start = std::time::Instant::now();
+    // Cost-aware policies see the platform through the cost facade; the
+    // dynamic-queue ablation plans one global pool, where device throughput
+    // is meaningless.
+    let cost: Box<dyn CostQuery> = if plan_gpus == spec.num_gpus() {
+        Box::new(PlatformCostQuery::new(
+            spec,
+            WorkloadProfile {
+                order: tensor.order(),
+                rank: cfg.rank,
+                elem_bytes: tensor.elem_bytes(),
+                isp_nnz: cfg.isp_nnz,
+            },
+        ))
+    } else {
+        Box::new(UniformCost::new(plan_gpus))
+    };
+    let stats = PlanStats {
+        nnz: tensor.nnz() as u64,
+    };
+    let mut modes = Vec::with_capacity(tensor.order());
+    for d in 0..tensor.order() {
+        let hist = tensor.mode_hist(d);
+        let a = planner.plan_mode(d, &hist, &stats, cost.as_ref());
+        if a.space != AssignmentSpace::OutputIndex {
+            return Err(SimError::Unsupported(format!(
+                "planner '{}' produced an element-space assignment; the AMPED engine \
+                 requires output-index ownership",
+                planner.name()
+            )));
+        }
+        a.validate(tensor.dim(d) as u64)
+            .map_err(SimError::Unsupported)?;
+        modes.push(ModePlan::build_with_ranges_hist(
+            tensor,
+            d,
+            &hist,
+            a.index_ranges(),
+            cfg.shard_nnz_budget,
+        ));
+    }
+    Ok(PartitionPlan {
+        modes,
+        preprocess_wall: start.elapsed().as_secs_f64(),
+    })
+}
+
 /// Precomputes ISP splits, per-block costs, and grid makespans for mode `d`.
 /// Costs depend only on workload statistics, so they are computed once and
-/// reused by every run.
+/// reused by every run. Each shard is priced against its *owning* GPU's
+/// spec, so heterogeneous platforms model slow devices slower (on the
+/// homogeneous default spec every `GpuSpec` is identical and the numbers
+/// are bit-for-bit those of the former `gpus[0]`-only pricing).
 fn prepare_mode(
     runtime: &dyn DeviceRuntime,
     spec: &PlatformSpec,
@@ -405,12 +559,12 @@ fn prepare_mode(
     d: usize,
 ) -> Vec<ShardUnit> {
     let mp = &plan.modes[d];
-    let gpu = &spec.gpus[0];
-    let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
     let elem_bytes = mp.tensor.elem_bytes();
     mp.shards
         .iter()
         .map(|s| {
+            let gpu = &spec.gpus[s.gpu];
+            let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
             let ranges = isp_ranges(s.elem_range.clone(), cfg.isp_nnz);
             let concurrency = ranges.len();
             let isps: Vec<IspUnit> = ranges
@@ -435,7 +589,7 @@ fn prepare_mode(
                 })
                 .collect();
             let costs: Vec<f64> = isps.iter().map(|i| i.cost).collect();
-            let compute = runtime.makespan(0, &costs).makespan;
+            let compute = runtime.makespan(s.gpu, &costs).makespan;
             ShardUnit {
                 gpu: s.gpu,
                 isps,
@@ -518,6 +672,18 @@ impl MttkrpEngine for AmpedEngine {
 
     fn preprocess_wall(&self) -> f64 {
         self.plan.preprocess_wall
+    }
+
+    fn mode_hist(&self, d: usize) -> Vec<u64> {
+        self.plan.modes[d].tensor.mode_hist(d)
+    }
+
+    fn mode_loads(&self, d: usize) -> Vec<u64> {
+        self.plan.modes[d].gpu_loads()
+    }
+
+    fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
+        AmpedEngine::replan(self, assignment)
     }
 }
 

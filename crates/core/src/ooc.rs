@@ -27,6 +27,9 @@ use crate::config::{AmpedConfig, SchedulePolicy};
 use crate::engine::{ModeTiming, MttkrpEngine};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, ShardStats};
+use amped_plan::{
+    AssignmentSpace, ModeAssignment, NnzCcp, Partitioner, PlatformCostQuery, WorkloadProfile,
+};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
@@ -77,11 +80,28 @@ impl OocEngine {
 
     /// Opens a `.tnsb` tensor for out-of-core decomposition through an
     /// explicit `runtime` (see [`crate::engine::AmpedEngine::with_runtime`]).
+    /// Planning uses the default nnz-weighted CCP policy ([`NnzCcp`]).
     pub fn with_runtime(
+        path: impl AsRef<Path>,
+        runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+        stage_budget_bytes: u64,
+    ) -> Result<Self, SimError> {
+        Self::with_planner(path, runtime, cfg, stage_budget_bytes, &NnzCcp)
+    }
+
+    /// Opens a `.tnsb` tensor through an explicit runtime **and** an
+    /// explicit [`Partitioner`] policy for the streaming plan's pass 1 —
+    /// the out-of-core half of the planner seam (see
+    /// [`crate::engine::AmpedEngine::with_planner`]). The planner sees the
+    /// footer histograms plus a [`PlatformCostQuery`] over the runtime's
+    /// spec.
+    pub fn with_planner(
         path: impl AsRef<Path>,
         mut runtime: Box<dyn DeviceRuntime>,
         cfg: AmpedConfig,
         stage_budget_bytes: u64,
+        planner: &dyn Partitioner,
     ) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::Unsupported)?;
         if cfg.schedule != SchedulePolicy::StaticCcp {
@@ -114,10 +134,22 @@ impl OocEngine {
         // point), charged so a budget larger than the host fails loudly.
         runtime.alloc(Device::Host, stage_budget_bytes, "chunk staging budget")?;
 
-        // --- Streaming two-pass plan through the budget.
+        // --- Streaming two-pass plan through the budget. Slice statistics
+        // use GPU 0's cache capacity (one payload scan serves all devices;
+        // per-device re-scans would multiply the I/O).
         let gpu = &spec.gpus[0];
         let cache_rows = (gpu.l2_bytes / (cfg.rank as u64 * 4)).max(1) as usize;
-        let plan = StreamPlan::build(&mut reader, m, cache_rows).map_err(|e| e.into_sim())?;
+        let cost = PlatformCostQuery::new(
+            &spec,
+            WorkloadProfile {
+                order: meta.order(),
+                rank: cfg.rank,
+                elem_bytes: meta.elem_bytes(),
+                isp_nnz: cfg.isp_nnz,
+            },
+        );
+        let plan = StreamPlan::build_with_planner(&mut reader, planner, &cost, cache_rows)
+            .map_err(|e| e.into_sim())?;
 
         Ok(Self {
             runtime,
@@ -169,6 +201,41 @@ impl OocEngine {
         self.reader.budget().peak()
     }
 
+    /// Swaps mode `assignment.mode`'s device assignment: re-runs the
+    /// streaming plan's pass 2 for that mode (one bounded payload scan)
+    /// under the new output-index ranges. The ALS-time rebalancing path —
+    /// out-of-core replanning costs real chunk I/O, which is exactly the
+    /// trade the imbalance threshold gates.
+    pub fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
+        let d = assignment.mode;
+        let order = self.reader.meta().order();
+        if d >= order {
+            return Err(SimError::Unsupported(format!(
+                "replan mode {d} out of range for order {order}"
+            )));
+        }
+        if assignment.space != AssignmentSpace::OutputIndex {
+            return Err(SimError::Unsupported(
+                "engine replan requires an output-index assignment".into(),
+            ));
+        }
+        if assignment.num_devices() != self.spec.num_gpus() {
+            return Err(SimError::Unsupported(format!(
+                "assignment targets {} devices, platform has {}",
+                assignment.num_devices(),
+                self.spec.num_gpus()
+            )));
+        }
+        assignment
+            .validate(self.reader.meta().shape[d] as u64)
+            .map_err(SimError::Unsupported)?;
+        let gpu = &self.spec.gpus[0];
+        let cache_rows = (gpu.l2_bytes / (self.cfg.rank as u64 * 4)).max(1) as usize;
+        self.plan
+            .rebuild_mode(&mut self.reader, d, assignment.index_ranges(), cache_rows)
+            .map_err(|e| e.into_sim())
+    }
+
     /// Runs MTTKRP for output mode `d` out of core: chunks stream from disk
     /// through the staging budget, scatter host→GPU, and execute as grids of
     /// ISP blocks; updated rows travel through the configured all-gather.
@@ -213,7 +280,7 @@ impl OocEngine {
             let slice_bytes: Vec<u64> = route.per_gpu.iter().map(|s| s.nnz * elem_bytes).collect();
             scatter.push(runtime.scatter_time(active, &slice_bytes));
             for (g, stats) in route.per_gpu.iter().enumerate() {
-                compute[g][k] = slice_time(cost, spec, cfg, stats, order, elem_bytes);
+                compute[g][k] = slice_time(cost, spec, g, cfg, stats, order, elem_bytes);
             }
         }
 
@@ -309,10 +376,13 @@ impl OocEngine {
 
 /// Simulated grid time of one per-GPU chunk slice: the slice splits into
 /// `⌈nnz / isp_nnz⌉` equal ISP blocks (unsorted payload → per-element
-/// atomics), list-scheduled onto the GPU's SMs.
+/// atomics), list-scheduled onto GPU `g`'s SMs and priced against *its*
+/// spec (heterogeneous platforms model slow devices slower; on the
+/// homogeneous default every spec is identical, bit for bit).
 fn slice_time(
     cost: &CostModel,
     spec: &PlatformSpec,
+    g: usize,
     cfg: &AmpedConfig,
     stats: &ShardStats,
     order: usize,
@@ -321,7 +391,7 @@ fn slice_time(
     if stats.nnz == 0 {
         return 0.0;
     }
-    let gpu = &spec.gpus[0];
+    let gpu = &spec.gpus[g];
     let blocks = (stats.nnz as usize).div_ceil(cfg.isp_nnz).max(1) as u64;
     let per_block = BlockStats {
         nnz: stats.nnz.div_ceil(blocks),
@@ -363,6 +433,18 @@ impl MttkrpEngine for OocEngine {
 
     fn preprocess_wall(&self) -> f64 {
         self.plan.preprocess_wall
+    }
+
+    fn mode_hist(&self, d: usize) -> Vec<u64> {
+        self.reader.meta().hist[d].clone()
+    }
+
+    fn mode_loads(&self, d: usize) -> Vec<u64> {
+        self.plan.modes[d].gpu_loads()
+    }
+
+    fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
+        OocEngine::replan(self, assignment)
     }
 }
 

@@ -55,6 +55,22 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_loads_never_produce_nan() {
+        // Empty and all-zero load vectors must yield exactly 0.0 — a NaN
+        // here would poison every downstream balance report silently.
+        for loads in [&[][..], &[0.0][..], &[0.0, 0.0, 0.0][..]] {
+            let of = overhead_fraction(loads);
+            let cv = coefficient_of_variation(loads);
+            assert_eq!(of, 0.0, "overhead_fraction({loads:?})");
+            assert_eq!(cv, 0.0, "coefficient_of_variation({loads:?})");
+            assert!(!of.is_nan() && !cv.is_nan());
+        }
+        // A single nonzero load is balanced by definition.
+        assert_eq!(overhead_fraction(&[5.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[5.0]), 0.0);
+    }
+
+    #[test]
     fn cv_orders_balance_quality() {
         let tight = coefficient_of_variation(&[10.0, 10.5, 9.5]);
         let loose = coefficient_of_variation(&[10.0, 20.0, 1.0]);

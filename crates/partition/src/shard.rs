@@ -171,14 +171,63 @@ impl ModePlan {
     /// no-inter-GPU-conflict invariant).
     pub fn build(t: &SparseTensor, d: usize, num_gpus: usize, shard_nnz_budget: usize) -> Self {
         assert!(num_gpus > 0, "need at least one GPU");
-        assert!(shard_nnz_budget > 0, "shard budget must be positive");
         let hist = t.mode_hist(d);
         let device_ranges = chains_on_chains(&hist, num_gpus);
+        Self::build_with_ranges_hist(t, d, &hist, device_ranges, shard_nnz_budget)
+    }
+
+    /// Builds the mode-`d` plan for externally supplied contiguous device
+    /// ranges — the seam the `amped-plan` partitioner layer materializes
+    /// assignments through (cost-guided or rebalanced ranges instead of the
+    /// nnz-balanced CCP of [`ModePlan::build`]). The shard construction and
+    /// statistics are byte-for-byte the wiring `build` uses.
+    ///
+    /// # Panics
+    /// Panics if the ranges do not tile `0..t.dim(d)` contiguously in order.
+    pub fn build_with_ranges(
+        t: &SparseTensor,
+        d: usize,
+        device_ranges: Vec<Range<Idx>>,
+        shard_nnz_budget: usize,
+    ) -> Self {
+        let hist = t.mode_hist(d);
+        Self::build_with_ranges_hist(t, d, &hist, device_ranges, shard_nnz_budget)
+    }
+
+    /// [`ModePlan::build_with_ranges`] for callers that already hold the
+    /// mode-`d` histogram (planner-driven construction computes it for the
+    /// planner anyway; a histogram is a full `O(nnz)` pass worth not
+    /// repeating).
+    ///
+    /// # Panics
+    /// Panics if `hist` is not the mode-`d` histogram of `t` (length checked
+    /// against `t.dim(d)`) or the ranges do not tile it contiguously.
+    pub fn build_with_ranges_hist(
+        t: &SparseTensor,
+        d: usize,
+        hist: &[u64],
+        device_ranges: Vec<Range<Idx>>,
+        shard_nnz_budget: usize,
+    ) -> Self {
+        assert_eq!(hist.len(), t.dim(d) as usize, "histogram/mode mismatch");
+        let num_gpus = device_ranges.len();
+        assert!(num_gpus > 0, "need at least one GPU");
+        assert!(shard_nnz_budget > 0, "shard budget must be positive");
+        assert_eq!(device_ranges[0].start, 0, "ranges must start at index 0");
+        assert_eq!(
+            device_ranges[num_gpus - 1].end,
+            t.dim(d),
+            "ranges must cover the whole index space"
+        );
+        assert!(
+            device_ranges.windows(2).all(|w| w[0].end == w[1].start),
+            "device ranges must be contiguous and in order"
+        );
         let sorted = t.sorted_by_mode(d);
         // Element offset of each index: prefix sums of the histogram.
         let mut prefix = Vec::with_capacity(hist.len() + 1);
         prefix.push(0usize);
-        for &h in &hist {
+        for &h in hist {
             prefix.push(prefix.last().unwrap() + h as usize);
         }
         let mut shards = Vec::new();
@@ -268,6 +317,30 @@ mod tests {
             seed: 7,
         }
         .generate()
+    }
+
+    #[test]
+    fn build_with_ranges_matches_build_for_ccp_ranges() {
+        let t = tensor();
+        for d in 0..3 {
+            let direct = ModePlan::build(&t, d, 3, 200);
+            let via_ranges =
+                ModePlan::build_with_ranges(&t, d, chains_on_chains(&t.mode_hist(d), 3), 200);
+            assert_eq!(direct.device_ranges, via_ranges.device_ranges);
+            assert_eq!(direct.gpu_loads(), via_ranges.gpu_loads());
+            assert_eq!(direct.shards.len(), via_ranges.shards.len());
+            for (a, b) in direct.shards.iter().zip(&via_ranges.shards) {
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.elem_range, b.elem_range);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole index space")]
+    fn build_with_ranges_rejects_partial_cover() {
+        let t = tensor();
+        ModePlan::build_with_ranges(&t, 0, vec![0..10, 10..20], 200);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! The unified planner layer (`amped-plan`).
+//!
+//! AMPED's headline property is load balance: chains-on-chains partitioning
+//! (CCP) over the per-output-index histogram keeps per-GPU work even, which
+//! is what makes the conflict-free sharding and the ring all-gather pay off
+//! (paper §3). Before this crate, three disjoint code paths each rebuilt the
+//! same histogram → CCP ranges → shard-statistics wiring — the in-core
+//! [`amped_partition::ModePlan`], the equal-nnz baseline
+//! [`amped_partition::EqualPlan`], and the streaming plan's pass 1 — and all
+//! three weighed work by raw nonzero counts, so none could model
+//! heterogeneous devices or react to observed imbalance.
+//!
+//! This crate gives planning the same seam PR 3 gave execution:
+//!
+//! * [`Partitioner`] — one object-safe trait: histogram + workload stats +
+//!   a [`CostQuery`] in, a [`ModeAssignment`] out.
+//! * [`NnzCcp`], [`EqualSplit`] — the two classic policies, producing
+//!   bit-identical assignments to the pre-refactor implementations (pinned
+//!   by `tests/planner_equivalence.rs` at the workspace root).
+//! * [`CostGuidedCcp`] — CCP over *modeled per-slice execution time*: the
+//!   [`PlatformCostQuery`] facade prices nonzeros through
+//!   [`amped_sim::costmodel`] per device, so a platform mixing fast and slow
+//!   GPUs (e.g. [`amped_sim::PlatformSpec::hetero_2fast_2slow`]) gets ranges
+//!   proportional to device throughput instead of equal nonzero counts.
+//! * [`RebalancingPlanner`] — a decorator that turns observed per-GPU
+//!   compute times from a run report into per-device throughput estimates
+//!   and re-runs heterogeneity-aware CCP when the imbalance overhead
+//!   crosses a threshold; the engines' `replan` path swaps the resulting
+//!   assignment in between ALS iterations without rebuilding the engine.
+//!
+//! On a homogeneous platform every device models identical throughput, so
+//! [`CostGuidedCcp`] degenerates to nnz-weighted CCP and the default paths
+//! stay bit-identical (the PR-3 golden runtime-equivalence suite is the
+//! proof).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod cost;
+pub mod partitioner;
+pub mod rebalance;
+
+pub use assignment::{AssignmentSpace, ModeAssignment};
+pub use cost::{modeled_makespan, CostQuery, PlatformCostQuery, UniformCost, WorkloadProfile};
+pub use partitioner::{hetero_chains, CostGuidedCcp, EqualSplit, NnzCcp, Partitioner, PlanStats};
+pub use rebalance::RebalancingPlanner;

@@ -8,8 +8,9 @@
 //!
 //! * **Pass 1 — metadata scan.** The `.tnsb` footer already carries the full
 //!   per-mode output-index histograms (accumulated by the writer, which sees
-//!   every element exactly once), so device ranges come from the same
-//!   [`chains_on_chains`] CCP used in-core without touching the payload.
+//!   every element exactly once), so device ranges come from an
+//!   [`amped_plan::Partitioner`] over those histograms — by default the same
+//!   nnz-weighted CCP used in-core — without touching the payload.
 //! * **Pass 2 — bounded payload scan.** Each chunk is loaded once through
 //!   the reader's staging budget; for every mode, elements are routed to the
 //!   GPU owning their output index (ranges never split an index across
@@ -22,8 +23,9 @@
 //! host memory.
 
 use crate::error::StreamError;
-use crate::reader::ChunkReader;
-use amped_partition::{chains_on_chains, ShardStats};
+use crate::reader::{Chunk, ChunkReader};
+use amped_partition::ShardStats;
+use amped_plan::{AssignmentSpace, CostQuery, NnzCcp, Partitioner, PlanStats, UniformCost};
 use amped_tensor::Idx;
 use serde::Serialize;
 use std::ops::Range;
@@ -116,13 +118,46 @@ impl StreamPlan {
         cache_rows: usize,
     ) -> Result<Self, StreamError> {
         assert!(num_gpus > 0, "need at least one GPU");
+        Self::build_with_planner(reader, &NnzCcp, &UniformCost::new(num_gpus), cache_rows)
+    }
+
+    /// Builds the plan with an explicit [`Partitioner`] policy for pass 1 —
+    /// the seam the `amped-plan` layer drives cost-guided and rebalanced
+    /// out-of-core partitioning through. `cost.num_devices()` fixes the GPU
+    /// count. Pass 2 (the bounded payload scan) is identical for every
+    /// policy.
+    ///
+    /// # Panics
+    /// Panics if the planner produces an element-space assignment: chunk
+    /// routing requires output-index ownership (the
+    /// no-inter-GPU-conflict invariant).
+    pub fn build_with_planner(
+        reader: &mut ChunkReader,
+        planner: &dyn Partitioner,
+        cost: &dyn CostQuery,
+        cache_rows: usize,
+    ) -> Result<Self, StreamError> {
+        let num_gpus = cost.num_devices();
         let start = Instant::now();
         let order = reader.meta().order();
         let num_chunks = reader.meta().num_chunks();
+        let stats = PlanStats {
+            nnz: reader.meta().nnz,
+        };
 
         // --- Pass 1: device ranges from the footer histograms (no payload I/O).
         let device_ranges: Vec<Vec<Range<Idx>>> = (0..order)
-            .map(|d| chains_on_chains(&reader.meta().hist[d], num_gpus))
+            .map(|d| {
+                let a = planner.plan_mode(d, &reader.meta().hist[d], &stats, cost);
+                assert_eq!(
+                    a.space,
+                    AssignmentSpace::OutputIndex,
+                    "streaming plans need output-index assignments ({} produced {:?})",
+                    planner.name(),
+                    a.space
+                );
+                a.index_ranges()
+            })
             .collect();
 
         // --- Pass 2: one bounded scan for per-chunk, per-mode slice stats.
@@ -144,46 +179,16 @@ impl StreamPlan {
             }
             let meta = reader.meta().chunks[c].clone();
             for (d, mode_plan) in modes.iter_mut().enumerate() {
-                let ranges = &device_ranges[d];
-                // Bounding-box fast path from the chunk metadata: the whole
-                // chunk inside one GPU's range — stats over the raw payload,
-                // no routing.
-                let sole_owner = ranges
-                    .iter()
-                    .position(|r| meta.mode_min[d] >= r.start && meta.mode_max[d] < r.end);
-                let per_gpu: Vec<ShardStats> = if let Some(owner) = sole_owner {
-                    (0..num_gpus)
-                        .map(|g| {
-                            if g == owner {
-                                ShardStats::compute_from_coords(
-                                    chunk.coords_flat(),
-                                    order,
-                                    d,
-                                    cache_rows,
-                                )
-                            } else {
-                                ShardStats::default()
-                            }
-                        })
-                        .collect()
-                } else {
-                    // One routing pass: bucket each element into its owner's
-                    // scratch (ranges are contiguous and ascending), then
-                    // compute stats per bucket. Total scratch ≤ the chunk's
-                    // own coordinates — within the charged bytes.
-                    for s in scratches.iter_mut() {
-                        s.clear();
-                    }
-                    for e in 0..chunk.nnz() {
-                        let coords = chunk.coords(e);
-                        let g = ranges.partition_point(|r| r.end <= coords[d]);
-                        scratches[g].extend_from_slice(coords);
-                    }
-                    scratches
-                        .iter()
-                        .map(|s| ShardStats::compute_from_coords(s, order, d, cache_rows))
-                        .collect()
-                };
+                let per_gpu = route_chunk(
+                    &chunk,
+                    meta.mode_min[d],
+                    meta.mode_max[d],
+                    order,
+                    d,
+                    &device_ranges[d],
+                    &mut scratches,
+                    cache_rows,
+                );
                 mode_plan.chunks.push(ChunkRoute { chunk: c, per_gpu });
             }
             reader.release_scratch(scratch_bytes);
@@ -195,9 +200,130 @@ impl StreamPlan {
         })
     }
 
+    /// Re-runs pass 2 for one mode under fresh `device_ranges` — the
+    /// engines' ALS-time replan path. Costs one more bounded payload scan
+    /// (for that mode only) through the reader's staging budget; every other
+    /// mode's routing is untouched.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range or the ranges do not tile the mode's
+    /// index space contiguously for the plan's GPU count.
+    pub fn rebuild_mode(
+        &mut self,
+        reader: &mut ChunkReader,
+        d: usize,
+        device_ranges: Vec<Range<Idx>>,
+        cache_rows: usize,
+    ) -> Result<(), StreamError> {
+        assert!(d < self.modes.len(), "mode {d} out of range");
+        let num_gpus = self.modes[d].num_gpus;
+        assert_eq!(
+            device_ranges.len(),
+            num_gpus,
+            "replan must keep the GPU count"
+        );
+        assert_eq!(device_ranges[0].start, 0, "ranges must start at index 0");
+        assert_eq!(
+            device_ranges[num_gpus - 1].end,
+            reader.meta().shape[d],
+            "ranges must cover the whole index space"
+        );
+        assert!(
+            device_ranges.windows(2).all(|w| w[0].end == w[1].start),
+            "device ranges must be contiguous and in order"
+        );
+        let start = Instant::now();
+        let order = reader.meta().order();
+        let num_chunks = reader.meta().num_chunks();
+        let mut scratches: Vec<Vec<Idx>> = vec![Vec::new(); num_gpus];
+        let mut chunks = Vec::with_capacity(num_chunks);
+        for c in 0..num_chunks {
+            let chunk = reader.load_chunk(c)?;
+            let scratch_bytes = (chunk.nnz() * order * 4) as u64;
+            if let Err(e) = reader.charge_scratch(scratch_bytes) {
+                reader.release(chunk);
+                return Err(e);
+            }
+            let meta = reader.meta().chunks[c].clone();
+            let per_gpu = route_chunk(
+                &chunk,
+                meta.mode_min[d],
+                meta.mode_max[d],
+                order,
+                d,
+                &device_ranges,
+                &mut scratches,
+                cache_rows,
+            );
+            chunks.push(ChunkRoute { chunk: c, per_gpu });
+            reader.release_scratch(scratch_bytes);
+            reader.release(chunk);
+        }
+        self.modes[d] = StreamModePlan {
+            mode: d,
+            num_gpus,
+            device_ranges,
+            chunks,
+        };
+        self.preprocess_wall += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
     /// Number of GPUs the plan was built for.
     pub fn num_gpus(&self) -> usize {
         self.modes.first().map(|m| m.num_gpus).unwrap_or(0)
+    }
+}
+
+/// Routes one loaded chunk for one output mode: per-GPU slice statistics
+/// under the mode's contiguous device ranges, with the bounding-box fast
+/// path when the whole chunk lies inside one GPU's range. Shared by the
+/// full pass-2 scan of [`StreamPlan::build_with_planner`] and the per-mode
+/// rescan of [`StreamPlan::rebuild_mode`].
+#[allow(clippy::too_many_arguments)]
+fn route_chunk(
+    chunk: &Chunk,
+    mode_min: Idx,
+    mode_max: Idx,
+    order: usize,
+    d: usize,
+    ranges: &[Range<Idx>],
+    scratches: &mut [Vec<Idx>],
+    cache_rows: usize,
+) -> Vec<ShardStats> {
+    let num_gpus = ranges.len();
+    // Bounding-box fast path from the chunk metadata: the whole chunk
+    // inside one GPU's range — stats over the raw payload, no routing.
+    let sole_owner = ranges
+        .iter()
+        .position(|r| mode_min >= r.start && mode_max < r.end);
+    if let Some(owner) = sole_owner {
+        (0..num_gpus)
+            .map(|g| {
+                if g == owner {
+                    ShardStats::compute_from_coords(chunk.coords_flat(), order, d, cache_rows)
+                } else {
+                    ShardStats::default()
+                }
+            })
+            .collect()
+    } else {
+        // One routing pass: bucket each element into its owner's scratch
+        // (ranges are contiguous and ascending), then compute stats per
+        // bucket. Total scratch ≤ the chunk's own coordinates — within the
+        // charged bytes.
+        for s in scratches.iter_mut() {
+            s.clear();
+        }
+        for e in 0..chunk.nnz() {
+            let coords = chunk.coords(e);
+            let g = ranges.partition_point(|r| r.end <= coords[d]);
+            scratches[g].extend_from_slice(coords);
+        }
+        scratches
+            .iter()
+            .map(|s| ShardStats::compute_from_coords(s, order, d, cache_rows))
+            .collect()
     }
 }
 

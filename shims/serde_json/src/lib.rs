@@ -43,6 +43,181 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Parses JSON text into a [`Value`] tree (recursive descent over the
+/// subset this workspace writes: objects, arrays, strings with `\"`/`\\`/
+/// `\n`/`\t`/`\r`/`\uXXXX` escapes, numbers, booleans, null).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected '{}' at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| Error(format!("invalid number at byte {start}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex4 = |at: usize| {
+                            b.get(at..at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        };
+                        let mut code = hex4(*pos + 1)
+                            .ok_or_else(|| Error(format!("bad \\u escape at byte {}", *pos)))?;
+                        *pos += 4;
+                        if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: JSON encodes non-BMP chars as
+                            // a \uXXXX\uXXXX UTF-16 pair.
+                            if b.get(*pos + 1..*pos + 3) == Some(b"\\u") {
+                                match hex4(*pos + 3) {
+                                    Some(low) if (0xDC00..0xE000).contains(&low) => {
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        *pos += 6;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy everything up to the next delimiter in one slice —
+                // '"' and '\\' are ASCII, so the cut is always on a UTF-8
+                // character boundary and each input byte is visited once
+                // (per-character tail revalidation would be quadratic).
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| Error(format!("invalid UTF-8 at byte {start}")))?;
+                out.push_str(run);
+            }
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
 fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
     let (nl, pad, pad_close, colon) = match indent {
         Some(w) => (
@@ -182,5 +357,53 @@ mod tests {
     fn empty_containers() {
         let v = json!({ "a": Vec::<u32>::new() });
         assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": []\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let b = Value::Arr(vec![
+            Value::Bool(true),
+            Value::Null,
+            Value::Str("x\"y\\z".into()),
+        ]);
+        let c = Value::Obj(vec![("d".into(), Value::Num(2.5))]);
+        let v = json!({ "a": 1, "b": b, "c": c });
+        for render in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&render).unwrap();
+            assert_eq!(to_string(&back).unwrap(), to_string(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_numbers() {
+        let v = from_str(r#"{"s":"a\nb","n":-1.5e2,"e":[]}"#).unwrap();
+        match &v {
+            Value::Obj(fields) => {
+                assert_eq!(fields[0].1, Value::Str("a\nb".into()));
+                assert_eq!(fields[1].1, Value::Num(-150.0));
+                assert_eq!(fields[2].1, Value::Arr(vec![]));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        // \uD83D\uDE00 is the UTF-16 pair for U+1F600 (grinning face).
+        let v = from_str(r#""\uD83D\uDE00 ok \u00e9""#).unwrap();
+        assert_eq!(v, Value::Str("\u{1F600} ok \u{e9}".into()));
+        // A lone high surrogate degrades to U+FFFD instead of corrupting.
+        assert_eq!(
+            from_str(r#""\uD83Dx""#).unwrap(),
+            Value::Str("\u{fffd}x".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"open").is_err());
     }
 }

@@ -30,6 +30,7 @@ pub use amped_core as core;
 pub use amped_formats as formats;
 pub use amped_linalg as linalg;
 pub use amped_partition as partition;
+pub use amped_plan as plan;
 pub use amped_runtime as runtime;
 pub use amped_sim as sim;
 pub use amped_stream as stream;
@@ -42,13 +43,18 @@ pub mod prelude {
         AmpedSystem, BlcoSystem, EqualNnzSystem, FlycooSystem, MmCsfSystem, MttkrpSystem,
         PartiSystem, SystemRun,
     };
-    pub use amped_core::als::{cp_als, AlsOptions, AlsResult};
+    pub use amped_core::als::{cp_als, AlsOptions, AlsResult, RebalanceOptions};
     pub use amped_core::reference::{mttkrp_par, mttkrp_ref};
     pub use amped_core::{
         AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, MttkrpEngine, OocEngine, SchedulePolicy,
     };
     pub use amped_linalg::Mat;
     pub use amped_partition::{EqualPlan, ModePlan, PartitionPlan};
+    pub use amped_plan::{
+        modeled_makespan, AssignmentSpace, CostGuidedCcp, CostQuery, EqualSplit, ModeAssignment,
+        NnzCcp, Partitioner, PlanStats, PlatformCostQuery, RebalancingPlanner, UniformCost,
+        WorkloadProfile,
+    };
     pub use amped_runtime::{
         Collective, Device, DeviceRuntime, GridTiming, Platform, SimRuntime, Timeline,
         TracingRuntime,
