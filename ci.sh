@@ -9,28 +9,33 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== 1/7 cargo fmt --check ==="
+echo "=== 1/8 cargo fmt --check ==="
 cargo fmt --check
 
-echo "=== 2/7 cargo build --release ==="
+echo "=== 2/8 cargo build --release ==="
 cargo build --release
 
-echo "=== 3/7 cargo test -q ==="
+echo "=== 3/8 cargo test -q ==="
 cargo test -q
 
-echo "=== 4/7 cargo clippy --all-targets -- -D warnings ==="
+echo "=== 4/8 cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
-echo "=== 5/7 cargo doc --no-deps (warnings denied) ==="
+echo "=== 5/8 cargo doc --no-deps (warnings denied) ==="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "=== 6/7 cargo bench -p amped-bench -- --test (smoke) ==="
+echo "=== 6/8 cargo bench -p amped-bench -- --test (smoke) ==="
 cargo bench -p amped-bench -- --test
 
-echo "=== 7/7 bench_diff BENCH_seed.json BENCH_pr4.json (informational) ==="
+echo "=== 7/8 cluster example (smoke) ==="
+# The multi-node path end to end: ClusterSpec → SimRuntime::cluster →
+# HierarchicalCcp → hierarchical all-gather, through the unchanged engine.
+cargo run --release --example cluster
+
+echo "=== 8/8 bench_diff BENCH_pr4.json BENCH_pr5.json (informational) ==="
 # Snapshot deltas across machines are noise-prone; this stage prints the
 # table but never fails CI (add --fail-on-regression for a gating run).
-cargo run --release -p amped-bench --bin bench_diff -- BENCH_seed.json BENCH_pr4.json \
+cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr4.json BENCH_pr5.json \
   || echo "bench_diff could not run (informational stage, not a CI failure)"
 
 echo "CI green."

@@ -84,12 +84,13 @@ impl MttkrpSystem for EqualNnzSystem {
             nnz: tensor.nnz() as u64,
         };
         let split_cost = UniformCost::new(m);
-        let plans: Vec<EqualPlan> = (0..order)
-            .map(|d| {
-                let a = planner.plan_mode(d, &[], &plan_stats, &split_cost);
-                EqualPlan::build_from_ranges(tensor, d, &a.element_ranges())
-            })
-            .collect();
+        let mut plans: Vec<EqualPlan> = Vec::with_capacity(order);
+        for d in 0..order {
+            let a = planner
+                .plan_mode(d, &[], &plan_stats, &split_cost)
+                .map_err(|e| SimError::Unsupported(format!("equal-nnz split: {e}")))?;
+            plans.push(EqualPlan::build_from_ranges(tensor, d, &a.element_ranges()));
+        }
         let preprocess_wall = pre_start.elapsed().as_secs_f64();
 
         // --- Memory: one host copy; per GPU factors + stream buffers (sized

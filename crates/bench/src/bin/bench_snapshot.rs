@@ -20,12 +20,13 @@ use amped_core::{AmpedConfig, AmpedEngine, OocEngine};
 use amped_formats::{CsfTensor, HicooTensor, LinTensor};
 use amped_linalg::Mat;
 use amped_partition::{chains_on_chains, ModePlan, PartitionPlan};
+use amped_plan::HierarchicalCcp;
 use amped_plan::{
     modeled_makespan, CostGuidedCcp, NnzCcp, Partitioner, PlanStats, PlatformCostQuery,
     WorkloadProfile,
 };
 use amped_runtime::{Collective, DeviceRuntime, FactorBlock, SimRuntime};
-use amped_sim::{atomic_add_f32, AtomicMat, PlatformSpec};
+use amped_sim::{atomic_add_f32, AtomicMat, ClusterSpec, PlatformSpec};
 use amped_stream::write_tnsb;
 use amped_tensor::gen::GenSpec;
 use rand::rngs::SmallRng;
@@ -77,13 +78,13 @@ fn main() {
         .unwrap_or(Path::new("."));
     const REPS: usize = 5;
     let mut table = Table::new(&["benchmark", "median", "throughput"]);
-    let mut push = |name: &str, secs: f64, elems: Option<u64>| {
+    fn push(table: &mut Table, name: &str, secs: f64, elems: Option<u64>) {
         table.push(vec![
             name.to_string(),
             format!("{:.3} ms", secs * 1e3),
             throughput_cell(elems, secs),
         ]);
-    };
+    }
 
     // 1. Elementwise kernel (ec_kernel bench): sequential vs parallel host
     //    MTTKRP oracles at the paper's default rank.
@@ -98,6 +99,7 @@ fn main() {
             .collect();
         let nnz = t.nnz() as u64;
         push(
+            &mut table,
             "ec_kernel/sequential/r32",
             median_secs(REPS, || {
                 mttkrp_ref(&t, &factors, 0);
@@ -105,6 +107,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "ec_kernel/parallel_atomic/r32",
             median_secs(REPS, || {
                 mttkrp_par(&t, &factors, 0);
@@ -124,6 +127,7 @@ fn main() {
         .generate();
         let nnz = t.nnz() as u64;
         push(
+            &mut table,
             "partition/all_modes/200k",
             median_secs(REPS, || {
                 PartitionPlan::build(&t, 4, 1 << 20);
@@ -131,6 +135,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "partition/single_mode/200k",
             median_secs(REPS, || {
                 ModePlan::build(&t, 0, 4, 1 << 20);
@@ -141,6 +146,7 @@ fn main() {
             .map(|i| (i * 2_654_435_761) % 1000)
             .collect();
         push(
+            &mut table,
             "partition/ccp_1M_indices",
             median_secs(REPS, || {
                 chains_on_chains(&weights, 4);
@@ -167,6 +173,7 @@ fn main() {
             .collect();
         let nnz = t.nnz() as u64;
         push(
+            &mut table,
             "formats/build_blco",
             median_secs(REPS, || {
                 LinTensor::build(&t, 1 << 17);
@@ -174,6 +181,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "formats/build_csf",
             median_secs(REPS, || {
                 CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0));
@@ -181,6 +189,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "formats/build_hicoo",
             median_secs(REPS, || {
                 HicooTensor::build(&t, 5);
@@ -191,6 +200,7 @@ fn main() {
         let csf = CsfTensor::build(&t, &CsfTensor::order_for_output(&t, 0));
         let h = HicooTensor::build(&t, 5);
         push(
+            &mut table,
             "formats/mttkrp_blco",
             median_secs(REPS, || {
                 let mut out = Mat::zeros(t.dim(0) as usize, rank);
@@ -199,6 +209,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "formats/mttkrp_csf_root",
             median_secs(REPS, || {
                 let mut out = Mat::zeros(t.dim(0) as usize, rank);
@@ -207,6 +218,7 @@ fn main() {
             Some(nnz),
         );
         push(
+            &mut table,
             "formats/mttkrp_hicoo",
             median_secs(REPS, || {
                 let mut out = Mat::zeros(t.dim(0) as usize, rank);
@@ -222,6 +234,7 @@ fn main() {
         const N: usize = 100_000;
         let cell = AtomicU32::new(0f32.to_bits());
         push(
+            &mut table,
             "atomics/single_cell_serial",
             median_secs(REPS, || {
                 for i in 0..N {
@@ -232,6 +245,7 @@ fn main() {
         );
         let m = AtomicMat::zeros(1024, 32);
         push(
+            &mut table,
             "atomics/scattered_matrix_serial",
             median_secs(REPS, || {
                 for i in 0..N {
@@ -256,6 +270,7 @@ fn main() {
             })
             .collect();
         push(
+            &mut table,
             "allgather/functional/4gpu",
             median_secs(REPS, || {
                 rt.allgather_blocks(&blocks);
@@ -264,6 +279,7 @@ fn main() {
         );
         let bytes = vec![1_000_000u64; 4];
         push(
+            &mut table,
             "allgather/timing_model",
             median_secs(REPS, || {
                 rt.allgather_time(Collective::Ring, &bytes);
@@ -302,6 +318,7 @@ fn main() {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.tnsb");
         push(
+            &mut table,
             "stream/write_tnsb/150k",
             median_secs(REPS, || {
                 write_tnsb(&t, &path, 16 * 1024).unwrap();
@@ -310,6 +327,7 @@ fn main() {
         );
         let mut in_core = AmpedEngine::new(&t, platform.clone(), cfg.clone()).unwrap();
         push(
+            &mut table,
             "stream/in_core_mttkrp/150k",
             median_secs(REPS, || {
                 in_core.mttkrp_mode(0, &factors).unwrap();
@@ -318,6 +336,7 @@ fn main() {
         );
         let mut ooc = OocEngine::open(&path, platform, cfg, 1 << 20).unwrap();
         push(
+            &mut table,
             "stream/ooc_mttkrp/150k",
             median_secs(REPS, || {
                 ooc.mttkrp_mode(0, &factors).unwrap();
@@ -354,25 +373,114 @@ fn main() {
             },
         );
         push(
+            &mut table,
             "plan/nnz_ccp/hetero_200k",
             median_secs(REPS, || {
-                NnzCcp.plan_mode(0, &hist, &stats, &q);
+                NnzCcp.plan_mode(0, &hist, &stats, &q).unwrap();
             }),
             Some(hist.len() as u64),
         );
         push(
+            &mut table,
             "plan/cost_guided_ccp/hetero_200k",
             median_secs(REPS, || {
-                CostGuidedCcp.plan_mode(0, &hist, &stats, &q);
+                CostGuidedCcp.plan_mode(0, &hist, &stats, &q).unwrap();
             }),
             Some(hist.len() as u64),
         );
-        let mk_nnz = modeled_makespan(&NnzCcp.plan_mode(0, &hist, &stats, &q), &hist, &q);
-        let mk_cost = modeled_makespan(&CostGuidedCcp.plan_mode(0, &hist, &stats, &q), &hist, &q);
+        let mk_nnz = modeled_makespan(&NnzCcp.plan_mode(0, &hist, &stats, &q).unwrap(), &hist, &q);
+        let mk_cost = modeled_makespan(
+            &CostGuidedCcp.plan_mode(0, &hist, &stats, &q).unwrap(),
+            &hist,
+            &q,
+        );
         table.push(vec![
             "plan/hetero_makespan_win".to_string(),
             "—".to_string(),
             format!("{:.1}% vs nnz-ccp", (1.0 - mk_cost / mk_nnz) * 100.0),
+        ]);
+    }
+
+    // 8. Cluster (multi-node): flat vs hierarchical all-gather timing on a
+    //    scaled 2×4 cluster, and the in-core engine under two-level
+    //    planning at 1×4 vs 2×4 — the scaling trajectory `bench_diff`
+    //    tracks across PRs.
+    {
+        let cluster = ClusterSpec::rtx6000_ada_cluster(2, 4).scaled(1e-3);
+        let mut rt = SimRuntime::cluster(cluster.clone());
+        let blocks = vec![4096u64 * 32 * 4; 8]; // 512 KiB per GPU at rank 32
+        push(
+            &mut table,
+            "cluster/allgather_flat/2x4",
+            median_secs(REPS, || {
+                rt.allgather_time(Collective::Ring, &blocks);
+            }),
+            None,
+        );
+        push(
+            &mut table,
+            "cluster/allgather_hier/2x4",
+            median_secs(REPS, || {
+                rt.allgather_time(Collective::HierarchicalRing, &blocks);
+            }),
+            None,
+        );
+        let flat = rt.allgather_time(Collective::Ring, &blocks);
+        let hier = rt.allgather_time(Collective::HierarchicalRing, &blocks);
+        table.push(vec![
+            "cluster/hier_gather_win".to_string(),
+            "—".to_string(),
+            format!("{:.1}% vs flat ring", (1.0 - hier / flat) * 100.0),
+        ]);
+
+        let t = GenSpec {
+            shape: vec![1500, 500, 500],
+            nnz: 600_000,
+            skew: vec![0.7, 0.4, 0.0],
+            seed: 15,
+        }
+        .generate();
+        let nnz = t.nnz() as u64;
+        let rank = 32;
+        let mut rng = SmallRng::seed_from_u64(16);
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
+        let cfg = AmpedConfig {
+            rank,
+            isp_nnz: 2048,
+            shard_nnz_budget: 16_384,
+            gather: amped_core::GatherAlgo::Hierarchical,
+            ..AmpedConfig::default()
+        };
+        let mut sim_walls = Vec::new();
+        for nodes in [1usize, 2] {
+            let c = ClusterSpec::rtx6000_ada_cluster(nodes, 4).scaled(1e-3);
+            let planner = HierarchicalCcp::from_cluster(&c);
+            let mut e = AmpedEngine::with_planner(
+                &t,
+                Box::new(SimRuntime::cluster(c)),
+                cfg.clone(),
+                &planner,
+            )
+            .unwrap();
+            push(
+                &mut table,
+                &format!("cluster/engine_mttkrp/{nodes}x4"),
+                median_secs(REPS, || {
+                    e.mttkrp_mode(0, &factors).unwrap();
+                }),
+                Some(nnz),
+            );
+            let (_, timing) = e.mttkrp_mode(0, &factors).unwrap();
+            sim_walls.push(timing.wall);
+        }
+        table.push(vec![
+            "cluster/sim_speedup_2x4_vs_1x4".to_string(),
+            "—".to_string(),
+            format!("{:.2}x modeled", sim_walls[0] / sim_walls[1]),
         ]);
     }
 

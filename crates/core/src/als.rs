@@ -203,7 +203,9 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
                     let stats = PlanStats {
                         nnz: hist.iter().sum(),
                     };
-                    let a = rb.plan_mode(d, &hist, &stats, &UniformCost::new(engine.num_gpus()));
+                    let a = rb
+                        .plan_mode(d, &hist, &stats, &UniformCost::new(engine.num_gpus()))
+                        .map_err(|e| SimError::Unsupported(format!("ALS-time rebalancing: {e}")))?;
                     engine.replan(&a)?;
                     rebalances += 1;
                 }

@@ -102,6 +102,23 @@ pub struct AmpedEngine {
     cfg: AmpedConfig,
     plan: PartitionPlan,
     mode_shards: Vec<Vec<ShardUnit>>,
+    /// Modeled per-GPU MTTKRP throughput (from [`PlatformCostQuery`]): the
+    /// ratio `gpu_throughput[owner] / gpu_throughput[g]` re-prices a
+    /// shard's precomputed compute time onto candidate GPU `g` — what the
+    /// dynamic-queue schedule needs on heterogeneous platforms. All entries
+    /// are equal on a homogeneous spec, making every ratio exactly 1.
+    gpu_throughput: Vec<f64>,
+}
+
+/// Re-prices a shard's compute time (prepared against GPU `owner`'s spec)
+/// onto GPU `g` using modeled throughput ratios. The homogeneous ratio is
+/// exactly `1.0`, and `x * 1.0 == x` bit for bit, so the default platform's
+/// schedule arithmetic is unchanged.
+fn reprice(compute: f64, gpu_throughput: &[f64], owner: usize, g: usize) -> f64 {
+    if owner == g {
+        return compute;
+    }
+    compute * (gpu_throughput[owner] / gpu_throughput[g])
 }
 
 impl AmpedEngine {
@@ -194,12 +211,25 @@ impl AmpedEngine {
         let mode_shards = (0..tensor.order())
             .map(|d| prepare_mode(runtime.as_ref(), &spec, &cost, &cfg, &plan, d))
             .collect();
+        let throughput_query = PlatformCostQuery::new(
+            &spec,
+            WorkloadProfile {
+                order: tensor.order(),
+                rank: cfg.rank,
+                elem_bytes: tensor.elem_bytes(),
+                isp_nnz: cfg.isp_nnz,
+            },
+        );
+        let gpu_throughput = (0..m)
+            .map(|g| throughput_query.device_throughput(g))
+            .collect();
         Ok(Self {
             runtime,
             spec,
             cfg,
             plan,
             mode_shards,
+            gpu_throughput,
         })
     }
 
@@ -310,14 +340,46 @@ impl AmpedEngine {
             }
             SchedulePolicy::DynamicQueue => {
                 // Greedy earliest-finish: the next shard (in index order)
-                // goes to the GPU that would finish it first.
-                let bw = self.runtime.h2d_link(m.min(shards.len().max(1)));
+                // goes to the GPU that would finish it first. The shard's
+                // precomputed compute time is priced against its planning
+                // owner's spec, so each candidate GPU re-prices it through
+                // the modeled throughput ratio — on a heterogeneous spec a
+                // fast GPU's finish estimate must not carry a slow GPU's
+                // cost (or vice versa). Uniform throughputs make both the
+                // estimates and the selection identical to the historical
+                // `min finish[g]` rule, preserving the homogeneous goldens.
+                // Per-candidate links: on a cluster runtime each GPU's h2d
+                // tier is its own node's, matching what `h2d_time` charges
+                // at execution; single-node backends return one link for
+                // every GPU, preserving the historical arithmetic.
+                let active_est = m.min(shards.len().max(1));
+                let links: Vec<_> = (0..m)
+                    .map(|g| self.runtime.h2d_link_for(g, active_est))
+                    .collect();
+                let tp = &self.gpu_throughput;
+                let uniform = tp.windows(2).all(|w| w[0] == w[1])
+                    && links
+                        .windows(2)
+                        .all(|w| w[0].gbps == w[1].gbps && w[0].latency_s == w[1].latency_s);
                 let mut finish = vec![0.0f64; m];
                 for (i, s) in shards.iter().enumerate() {
-                    let g = (0..m)
-                        .min_by(|&a, &b| finish[a].total_cmp(&finish[b]))
-                        .expect("at least one GPU");
-                    finish[g] += bw.transfer_time(s.transfer_bytes).max(s.compute);
+                    let step = |g: usize| {
+                        links[g]
+                            .transfer_time(s.transfer_bytes)
+                            .max(reprice(s.compute, tp, s.gpu, g))
+                    };
+                    let g = if uniform {
+                        (0..m)
+                            .min_by(|&a, &b| finish[a].total_cmp(&finish[b]))
+                            .expect("at least one GPU")
+                    } else {
+                        (0..m)
+                            .min_by(|&a, &b| {
+                                (finish[a] + step(a)).total_cmp(&(finish[b] + step(b)))
+                            })
+                            .expect("at least one GPU")
+                    };
+                    finish[g] += step(g);
                     per_gpu[g].push(i);
                 }
             }
@@ -361,6 +423,7 @@ impl AmpedEngine {
             plan,
             mode_shards,
             cfg,
+            gpu_throughput,
             ..
         } = self;
         let runtime = runtime.as_mut();
@@ -369,17 +432,20 @@ impl AmpedEngine {
             // Double-buffered streaming pipeline (§4.8): transfer k+1 overlaps
             // compute k; transfer k must wait for buffer k−2 to free.
             let mut transfer_end = vec![0.0f64; shard_ids.len()];
+            let mut transfer_time = vec![0.0f64; shard_ids.len()];
             let mut compute_end = vec![0.0f64; shard_ids.len()];
             let mut compute_busy = 0.0;
             for (k, &sid) in shard_ids.iter().enumerate() {
                 let su = &mode_shards[d][sid];
                 let t_x = runtime.h2d_time(g, active, su.transfer_bytes);
+                let su_compute = reprice(su.compute, gpu_throughput, su.gpu, g);
                 let prev_transfer = if k > 0 { transfer_end[k - 1] } else { 0.0 };
                 let buffer_free = if k >= 2 { compute_end[k - 2] } else { 0.0 };
                 transfer_end[k] = prev_transfer.max(buffer_free) + t_x;
+                transfer_time[k] = t_x;
                 let prev_compute = if k > 0 { compute_end[k - 1] } else { 0.0 };
-                compute_end[k] = prev_compute.max(transfer_end[k]) + su.compute;
-                compute_busy += su.compute;
+                compute_end[k] = prev_compute.max(transfer_end[k]) + su_compute;
+                compute_busy += su_compute;
 
                 // --- Real execution of the grid (Algorithm 2).
                 let tensor = &plan.modes[d].tensor;
@@ -413,7 +479,19 @@ impl AmpedEngine {
             let end = compute_end.last().copied().unwrap_or(0.0);
             ends[g] = end;
             per_gpu[g].compute = compute_busy;
-            per_gpu[g].h2d = (end - compute_busy).max(0.0);
+            // Exposed h2d is derived from the pipeline arrays, not inferred
+            // as `end − compute_busy`: each pre-compute stall counts as
+            // transfer time only while the link was actually busy (the
+            // trailing `t_x` window of the shard's transfer); the remainder
+            // — double-buffer and pipeline slack — is idle time.
+            let mut exposed = 0.0f64;
+            for k in 0..shard_ids.len() {
+                let prev_compute = if k > 0 { compute_end[k - 1] } else { 0.0 };
+                let stall = (transfer_end[k] - prev_compute).max(0.0);
+                exposed += stall.min(transfer_time[k]);
+            }
+            per_gpu[g].h2d = exposed;
+            per_gpu[g].idle += (end - compute_busy - exposed).max(0.0);
         }
 
         // --- Inter-GPU barrier (Algorithm 1 line 9).
@@ -483,6 +561,7 @@ impl GatherAlgo {
         match self {
             GatherAlgo::Ring => Collective::Ring,
             GatherAlgo::HostStaged => Collective::HostStaged,
+            GatherAlgo::Hierarchical => Collective::HierarchicalRing,
         }
     }
 }
@@ -520,7 +599,9 @@ fn build_partition_plan(
     let mut modes = Vec::with_capacity(tensor.order());
     for d in 0..tensor.order() {
         let hist = tensor.mode_hist(d);
-        let a = planner.plan_mode(d, &hist, &stats, cost.as_ref());
+        let a = planner
+            .plan_mode(d, &hist, &stats, cost.as_ref())
+            .map_err(|e| SimError::Unsupported(format!("planner '{}': {e}", planner.name())))?;
         if a.space != AssignmentSpace::OutputIndex {
             return Err(SimError::Unsupported(format!(
                 "planner '{}' produced an element-space assignment; the AMPED engine \

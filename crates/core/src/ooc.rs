@@ -273,14 +273,22 @@ impl OocEngine {
         let loads = mp.gpu_loads();
         let active = loads.iter().filter(|&&l| l > 0).count().max(1);
 
-        // --- Per-chunk slice times and scatter times (cost model).
+        // --- Per-chunk slice times and scatter times (cost model). Next to
+        // the stage cost (slowest slice in flight) we keep each GPU's *own*
+        // slice transfer time — the cap on how much of a stall can honestly
+        // be attributed to that GPU's link in the h2d bucket.
         let mut scatter = Vec::with_capacity(num_chunks);
         let mut compute = vec![vec![0.0f64; num_chunks]; m];
+        let mut own_xfer = vec![vec![0.0f64; num_chunks]; m];
+        let links: Vec<_> = (0..m).map(|g| runtime.h2d_link_for(g, active)).collect();
         for (k, route) in mp.chunks.iter().enumerate() {
             let slice_bytes: Vec<u64> = route.per_gpu.iter().map(|s| s.nnz * elem_bytes).collect();
             scatter.push(runtime.scatter_time(active, &slice_bytes));
             for (g, stats) in route.per_gpu.iter().enumerate() {
                 compute[g][k] = slice_time(cost, spec, g, cfg, stats, order, elem_bytes);
+                if slice_bytes[g] > 0 {
+                    own_xfer[g][k] = links[g].transfer_time(slice_bytes[g]);
+                }
             }
         }
 
@@ -352,7 +360,22 @@ impl OocEngine {
         for g in 0..m {
             let busy: f64 = compute[g].iter().sum();
             per_gpu[g].compute = busy;
-            per_gpu[g].h2d = (ends[g] - busy).max(0.0);
+            // Exposed h2d is derived from the scatter/compute end arrays:
+            // a GPU's pre-compute stall counts as transfer time only up to
+            // its *own* slice's transfer time (scatters are concurrent
+            // per-GPU pulls — a GPU receiving almost nothing must not
+            // charge the slowest peer's window to its link). The rest of
+            // the stall is pipeline wait — the global double-buffer gate
+            // and the stage barrier — and lands in idle. GPUs with no
+            // slice of a chunk have `own_xfer = 0` and charge nothing.
+            let mut exposed = 0.0f64;
+            for k in 0..num_chunks {
+                let prev_compute = if k > 0 { compute_end[g][k - 1] } else { 0.0 };
+                let stall = (scatter_end[k] - prev_compute).max(0.0);
+                exposed += stall.min(own_xfer[g][k]);
+            }
+            per_gpu[g].h2d = exposed;
+            per_gpu[g].idle += (ends[g] - busy - exposed).max(0.0);
             per_gpu[g].idle += barrier - ends[g];
         }
 

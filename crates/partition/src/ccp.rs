@@ -12,18 +12,82 @@
 
 use std::ops::Range;
 
+/// Why a CCP call could not produce a partition — the typed error surface
+/// the planner layer (`amped-plan`) forwards instead of panicking. The
+/// billion-scale element spaces this repository targets are exactly where
+/// the `u32` index-space ceiling is reachable, so it must be a recoverable
+/// error, not an assert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcpError {
+    /// The index space does not fit the `u32` range type shards and
+    /// assignments use: `indices` exceeds [`CcpError::INDEX_LIMIT`].
+    IndexSpaceTooLarge {
+        /// Number of indices requested.
+        indices: u64,
+    },
+}
+
+impl CcpError {
+    /// The largest representable index space: range bounds are `u32`.
+    pub const INDEX_LIMIT: u64 = u32::MAX as u64;
+}
+
+impl std::fmt::Display for CcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcpError::IndexSpaceTooLarge { indices } => write!(
+                f,
+                "index space of {indices} indices exceeds the u32 range limit ({}); \
+                 partition the mode hierarchically or coarsen the index space",
+                CcpError::INDEX_LIMIT
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CcpError {}
+
+/// Checks that an index space of `indices` entries fits the `u32` range
+/// bounds every partition product uses. This is the single guard behind
+/// every fallible CCP entry point; it is exposed so the `u32::MAX` boundary
+/// is testable without materializing a 32 GiB histogram.
+pub fn check_index_space(indices: u64) -> Result<(), CcpError> {
+    if indices > CcpError::INDEX_LIMIT {
+        Err(CcpError::IndexSpaceTooLarge { indices })
+    } else {
+        Ok(())
+    }
+}
+
 /// Splits `0..weights.len()` into exactly `m` contiguous ranges minimizing
 /// the maximum range weight. Trailing ranges may be empty when there are
 /// fewer indices than GPUs.
 ///
-/// Returns the ranges in index order, one per GPU.
+/// Returns the ranges in index order, one per GPU, or
+/// [`CcpError::IndexSpaceTooLarge`] when the index space exceeds `u32` —
+/// the recoverable form of the bound that used to be a hard assert.
 ///
 /// # Panics
 /// Panics if `m == 0`.
+pub fn try_chains_on_chains(weights: &[u64], m: usize) -> Result<Vec<Range<u32>>, CcpError> {
+    check_index_space(weights.len() as u64)?;
+    Ok(chains_on_chains_unchecked(weights, m))
+}
+
+/// Infallible [`try_chains_on_chains`] for callers whose index spaces are
+/// bounded by construction (tensor modes validated at load time).
+///
+/// # Panics
+/// Panics if `m == 0` or the index space exceeds `u32`
+/// (use [`try_chains_on_chains`] to get a typed error instead).
 pub fn chains_on_chains(weights: &[u64], m: usize) -> Vec<Range<u32>> {
+    check_index_space(weights.len() as u64).expect("index space exceeds u32");
+    chains_on_chains_unchecked(weights, m)
+}
+
+fn chains_on_chains_unchecked(weights: &[u64], m: usize) -> Vec<Range<u32>> {
     assert!(m > 0, "need at least one partition");
     let n = weights.len();
-    assert!(n <= u32::MAX as usize, "index space exceeds u32");
     // Prefix sums: prefix[i] = total weight of indices < i.
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0u64);
@@ -153,6 +217,35 @@ mod tests {
         let r = chains_on_chains(&[], 3);
         assert_eq!(r.len(), 3);
         assert!(r.iter().all(|x| x.is_empty()));
+    }
+
+    #[test]
+    fn index_space_guard_flips_exactly_past_u32_max() {
+        // The boundary itself is representable…
+        assert!(check_index_space(u32::MAX as u64).is_ok());
+        assert!(check_index_space(0).is_ok());
+        // …one past it is the typed error (formerly a panic).
+        let err = check_index_space(u32::MAX as u64 + 1).unwrap_err();
+        assert_eq!(
+            err,
+            CcpError::IndexSpaceTooLarge {
+                indices: u32::MAX as u64 + 1
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("4294967295") && msg.contains("4294967296"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn try_chains_on_chains_matches_infallible_in_range() {
+        let w = vec![3u64, 1, 4, 1, 5];
+        assert_eq!(
+            try_chains_on_chains(&w, 2).unwrap(),
+            chains_on_chains(&w, 2)
+        );
     }
 
     #[test]

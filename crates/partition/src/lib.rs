@@ -31,7 +31,7 @@ pub mod equal;
 pub mod plan;
 pub mod shard;
 
-pub use ccp::chains_on_chains;
+pub use ccp::{chains_on_chains, check_index_space, try_chains_on_chains, CcpError};
 pub use equal::EqualPlan;
 pub use plan::PartitionPlan;
 pub use shard::{isp_ranges, ModePlan, Shard, ShardStats};

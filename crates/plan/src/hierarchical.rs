@@ -1,0 +1,208 @@
+//! Two-level cluster planning: CCP over nodes, then CCP inside each node.
+//!
+//! On a multi-node cluster the partitioning objective is hierarchical, like
+//! the hardware: first decide how much of the output-index space each
+//! *node* owns (weighted by the node's aggregate modeled throughput — a
+//! node of four GPUs should own roughly four single-GPU shares), then run
+//! an ordinary per-GPU CCP *inside* each node's slice (weighted by the
+//! node's own device throughputs, so heterogeneous nodes stay balanced
+//! internally). The product is an ordinary [`ModeAssignment`] over the
+//! flattened GPU list, which is why `AmpedEngine`/`OocEngine` execute a
+//! cluster plan completely unchanged.
+//!
+//! Keeping node slices contiguous is what makes the hierarchical all-gather
+//! cheap: each node's updated rows form one contiguous block, so the
+//! inter-node exchange moves one aggregate per node instead of interleaved
+//! row fragments.
+
+use crate::assignment::ModeAssignment;
+use crate::cost::CostQuery;
+use crate::error::PlanError;
+use crate::partitioner::{try_hetero_chains, Partitioner, PlanStats};
+use amped_sim::ClusterSpec;
+use amped_tensor::Idx;
+use std::ops::Range;
+
+/// Two-level chains-on-chains partitioner for a multi-node cluster.
+///
+/// Level 1 splits the output-index histogram across *nodes*, each weighted
+/// by its aggregate device throughput from the [`CostQuery`]; level 2
+/// splits each node's slice across that node's GPUs, weighted by their
+/// individual throughputs. With one node this degenerates to
+/// [`crate::CostGuidedCcp`] (which itself degenerates to [`crate::NnzCcp`]
+/// on homogeneous devices).
+#[derive(Clone, Debug)]
+pub struct HierarchicalCcp {
+    /// GPUs per node, in node order (global GPU order is node-by-node).
+    node_sizes: Vec<usize>,
+}
+
+impl HierarchicalCcp {
+    /// A planner for nodes of the given GPU counts (global GPU indices are
+    /// assigned node by node, matching [`ClusterSpec`] flattening).
+    ///
+    /// # Panics
+    /// Panics if `node_sizes` is empty or any node has zero GPUs.
+    pub fn new(node_sizes: Vec<usize>) -> Self {
+        assert!(!node_sizes.is_empty(), "need at least one node");
+        assert!(
+            node_sizes.iter().all(|&m| m > 0),
+            "every node needs at least one GPU: {node_sizes:?}"
+        );
+        Self { node_sizes }
+    }
+
+    /// A planner matching `cluster`'s topology.
+    pub fn from_cluster(cluster: &ClusterSpec) -> Self {
+        Self::new(cluster.nodes.iter().map(|n| n.num_gpus()).collect())
+    }
+
+    /// Total GPUs across all nodes.
+    pub fn num_devices(&self) -> usize {
+        self.node_sizes.iter().sum()
+    }
+
+    /// Global GPU index ranges per node.
+    fn node_ranges(&self) -> Vec<Range<usize>> {
+        amped_sim::cluster::contiguous_ranges(&self.node_sizes)
+    }
+}
+
+impl Partitioner for HierarchicalCcp {
+    fn name(&self) -> &'static str {
+        "hierarchical-ccp"
+    }
+
+    fn plan_mode(
+        &self,
+        mode: usize,
+        hist: &[u64],
+        _stats: &PlanStats,
+        cost: &dyn CostQuery,
+    ) -> Result<ModeAssignment, PlanError> {
+        if self.num_devices() != cost.num_devices() {
+            return Err(PlanError::TopologyMismatch {
+                planner_devices: self.num_devices(),
+                cost_devices: cost.num_devices(),
+            });
+        }
+        let node_ranges = self.node_ranges();
+
+        // Level 1: CCP over nodes, weighted by aggregate node throughput.
+        let node_speeds: Vec<f64> = node_ranges
+            .iter()
+            .map(|r| r.clone().map(|g| cost.device_throughput(g)).sum())
+            .collect();
+        let node_slices = try_hetero_chains(hist, &node_speeds)?;
+
+        // Level 2: CCP inside each node's slice, weighted by its own GPUs.
+        let mut ranges: Vec<Range<Idx>> = Vec::with_capacity(self.num_devices());
+        for (slice, gpus) in node_slices.iter().zip(&node_ranges) {
+            let sub = &hist[slice.start as usize..slice.end as usize];
+            let speeds: Vec<f64> = gpus.clone().map(|g| cost.device_throughput(g)).collect();
+            let inner = try_hetero_chains(sub, &speeds)?;
+            ranges.extend(
+                inner
+                    .into_iter()
+                    .map(|r| slice.start + r.start..slice.start + r.end),
+            );
+        }
+        Ok(ModeAssignment::from_index_ranges(mode, ranges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCost;
+    use crate::partitioner::NnzCcp;
+
+    fn hist(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2_654_435_761) % 100).collect()
+    }
+
+    #[test]
+    fn assignment_tiles_the_index_space_per_gpu() {
+        let h = hist(500);
+        let p = HierarchicalCcp::new(vec![4, 4]);
+        let a = p
+            .plan_mode(1, &h, &PlanStats::default(), &UniformCost::new(8))
+            .unwrap();
+        assert_eq!(a.mode, 1);
+        assert_eq!(a.num_devices(), 8);
+        a.validate(500).unwrap();
+    }
+
+    #[test]
+    fn node_loads_track_aggregate_throughput() {
+        // Two nodes of equal aggregate speed split the work about evenly;
+        // within each node the GPUs split their slice about evenly too.
+        let h = vec![1u64; 800];
+        let p = HierarchicalCcp::new(vec![4, 4]);
+        let a = p
+            .plan_mode(0, &h, &PlanStats::default(), &UniformCost::new(8))
+            .unwrap();
+        let loads = a.loads(&h);
+        let node0: u64 = loads[..4].iter().sum();
+        let node1: u64 = loads[4..].iter().sum();
+        assert!(
+            (node0 as f64 / node1 as f64 - 1.0).abs() < 0.05,
+            "{loads:?}"
+        );
+        assert!(loads.iter().all(|&l| (90..=110).contains(&l)), "{loads:?}");
+    }
+
+    #[test]
+    fn single_node_degenerates_to_flat_ccp_bottleneck() {
+        let h = hist(300);
+        let p = HierarchicalCcp::new(vec![4]);
+        let q = UniformCost::new(4);
+        let stats = PlanStats::default();
+        let hier = p.plan_mode(0, &h, &stats, &q).unwrap();
+        let flat = NnzCcp.plan_mode(0, &h, &stats, &q).unwrap();
+        assert_eq!(
+            hier.loads(&h).into_iter().max(),
+            flat.loads(&h).into_iter().max(),
+            "1-node hierarchical CCP must match flat CCP's bottleneck"
+        );
+    }
+
+    #[test]
+    fn topology_mismatch_is_a_typed_error() {
+        let p = HierarchicalCcp::new(vec![4, 4]);
+        let err = p
+            .plan_mode(0, &hist(100), &PlanStats::default(), &UniformCost::new(6))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::TopologyMismatch {
+                planner_devices: 8,
+                cost_devices: 6
+            }
+        );
+    }
+
+    #[test]
+    fn from_cluster_reads_the_topology() {
+        let c = ClusterSpec::rtx6000_ada_cluster(3, 2);
+        let p = HierarchicalCcp::from_cluster(&c);
+        assert_eq!(p.num_devices(), 6);
+        assert_eq!(p.node_ranges(), vec![0..2, 2..4, 4..6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_empty_nodes() {
+        HierarchicalCcp::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn empty_histogram_yields_empty_ranges() {
+        let p = HierarchicalCcp::new(vec![2, 2]);
+        let a = p
+            .plan_mode(0, &[], &PlanStats::default(), &UniformCost::new(4))
+            .unwrap();
+        a.validate(0).unwrap();
+        assert!(a.ranges.iter().all(|r| r.start == r.end));
+    }
+}

@@ -2,11 +2,12 @@
 
 use std::ops::Range;
 
-use amped_partition::chains_on_chains;
+use amped_partition::{check_index_space, try_chains_on_chains};
 use amped_tensor::Idx;
 
 use crate::assignment::{AssignmentSpace, ModeAssignment};
 use crate::cost::CostQuery;
+use crate::error::PlanError;
 
 /// Per-mode workload facts planners consume alongside the histogram —
 /// currently just the nonzero total (element-space planners split it
@@ -28,13 +29,19 @@ pub trait Partitioner: std::fmt::Debug {
     /// Plans output mode `mode`. `hist` is the per-output-index nonzero
     /// histogram (planners that partition the element space may be handed an
     /// empty slice); `cost.num_devices()` is the device count to plan for.
+    ///
+    /// Fails with [`PlanError::IndexSpaceTooLarge`] when the index space
+    /// exceeds the `u32` range bounds (the billion-scale operating
+    /// condition CCP used to panic on) and
+    /// [`PlanError::TopologyMismatch`] when a topology-bound planner is
+    /// asked to plan for a different device count.
     fn plan_mode(
         &self,
         mode: usize,
         hist: &[u64],
         stats: &PlanStats,
         cost: &dyn CostQuery,
-    ) -> ModeAssignment;
+    ) -> Result<ModeAssignment, PlanError>;
 }
 
 /// AMPED's default policy: chains-on-chains over the raw nonzero histogram
@@ -55,8 +62,9 @@ impl Partitioner for NnzCcp {
         hist: &[u64],
         _stats: &PlanStats,
         cost: &dyn CostQuery,
-    ) -> ModeAssignment {
-        ModeAssignment::from_index_ranges(mode, chains_on_chains(hist, cost.num_devices()))
+    ) -> Result<ModeAssignment, PlanError> {
+        let ranges = try_chains_on_chains(hist, cost.num_devices())?;
+        Ok(ModeAssignment::from_index_ranges(mode, ranges))
     }
 }
 
@@ -78,17 +86,17 @@ impl Partitioner for EqualSplit {
         _hist: &[u64],
         stats: &PlanStats,
         cost: &dyn CostQuery,
-    ) -> ModeAssignment {
+    ) -> Result<ModeAssignment, PlanError> {
         let m = cost.num_devices() as u64;
         let nnz = stats.nnz;
         let per = nnz.div_ceil(m);
-        ModeAssignment {
+        Ok(ModeAssignment {
             mode,
             space: AssignmentSpace::Element,
             ranges: (0..m)
                 .map(|g| (g * per).min(nnz)..((g + 1) * per).min(nnz))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -112,11 +120,12 @@ impl Partitioner for CostGuidedCcp {
         hist: &[u64],
         _stats: &PlanStats,
         cost: &dyn CostQuery,
-    ) -> ModeAssignment {
+    ) -> Result<ModeAssignment, PlanError> {
         let speeds: Vec<f64> = (0..cost.num_devices())
             .map(|g| cost.device_throughput(g))
             .collect();
-        ModeAssignment::from_index_ranges(mode, hetero_chains(hist, &speeds))
+        let ranges = try_hetero_chains(hist, &speeds)?;
+        Ok(ModeAssignment::from_index_ranges(mode, ranges))
     }
 }
 
@@ -128,9 +137,21 @@ impl Partitioner for CostGuidedCcp {
 /// exact for any probed bottleneck); the result is deterministic.
 ///
 /// # Panics
-/// Panics if `speeds` is empty or contains a non-positive or non-finite
-/// entry.
+/// Panics if `speeds` is empty, contains a non-positive or non-finite
+/// entry, or the index space exceeds `u32` (use [`try_hetero_chains`] for
+/// the typed-error form).
 pub fn hetero_chains(weights: &[u64], speeds: &[f64]) -> Vec<Range<Idx>> {
+    try_hetero_chains(weights, speeds).expect("index space exceeds u32")
+}
+
+/// Fallible [`hetero_chains`]: returns [`PlanError::IndexSpaceTooLarge`]
+/// instead of panicking when the index space exceeds the `u32` range bounds
+/// — the entry point every [`Partitioner`] uses.
+///
+/// # Panics
+/// Panics if `speeds` is empty or contains a non-positive or non-finite
+/// entry (a malformed cost model is a bug, not an operating condition).
+pub fn try_hetero_chains(weights: &[u64], speeds: &[f64]) -> Result<Vec<Range<Idx>>, PlanError> {
     let m = speeds.len();
     assert!(m > 0, "need at least one device");
     assert!(
@@ -138,7 +159,7 @@ pub fn hetero_chains(weights: &[u64], speeds: &[f64]) -> Vec<Range<Idx>> {
         "device speeds must be finite and positive: {speeds:?}"
     );
     let n = weights.len();
-    assert!(n <= u32::MAX as usize, "index space exceeds u32");
+    check_index_space(n as u64)?;
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0u64);
     for &w in weights {
@@ -148,7 +169,7 @@ pub fn hetero_chains(weights: &[u64], speeds: &[f64]) -> Vec<Range<Idx>> {
     if total == 0 {
         // Mirror `chains_on_chains`: first range takes every (weightless)
         // index, the rest stay empty.
-        return (0..m)
+        return Ok((0..m)
             .map(|g| {
                 if g == 0 {
                     0..n as Idx
@@ -156,7 +177,7 @@ pub fn hetero_chains(weights: &[u64], speeds: &[f64]) -> Vec<Range<Idx>> {
                     n as Idx..n as Idx
                 }
             })
-            .collect();
+            .collect());
     }
     let sum_speed: f64 = speeds.iter().sum();
     let max_speed = speeds.iter().cloned().fold(f64::MIN, f64::max);
@@ -178,7 +199,7 @@ pub fn hetero_chains(weights: &[u64], speeds: &[f64]) -> Vec<Range<Idx>> {
     // everything); carve at it. Nudge up one ulp-scale step so that float
     // error in the last bisection cannot leave `hi` infeasible.
     let bound = hi * (1.0 + 1e-12);
-    hetero_carve(&prefix, speeds, bound)
+    Ok(hetero_carve(&prefix, speeds, bound))
 }
 
 /// Can ranges in device order each stay within `t × speed` weight? Unlike
@@ -229,6 +250,7 @@ mod tests {
     use super::*;
     use crate::cost::UniformCost;
     use amped_partition::ccp::max_load;
+    use amped_partition::chains_on_chains;
     use proptest::prelude::*;
 
     fn check_cover(ranges: &[Range<Idx>], n: Idx) {
@@ -242,7 +264,9 @@ mod tests {
     #[test]
     fn nnz_ccp_reproduces_chains_on_chains() {
         let hist = [3u64, 1, 4, 1, 5, 9, 2, 6];
-        let a = NnzCcp.plan_mode(2, &hist, &PlanStats { nnz: 31 }, &UniformCost::new(3));
+        let a = NnzCcp
+            .plan_mode(2, &hist, &PlanStats { nnz: 31 }, &UniformCost::new(3))
+            .unwrap();
         assert_eq!(a.mode, 2);
         assert_eq!(a.space, AssignmentSpace::OutputIndex);
         assert_eq!(a.index_ranges(), chains_on_chains(&hist, 3));
@@ -250,7 +274,9 @@ mod tests {
 
     #[test]
     fn equal_split_matches_div_ceil_chunks() {
-        let a = EqualSplit.plan_mode(0, &[], &PlanStats { nnz: 1001 }, &UniformCost::new(4));
+        let a = EqualSplit
+            .plan_mode(0, &[], &PlanStats { nnz: 1001 }, &UniformCost::new(4))
+            .unwrap();
         assert_eq!(a.space, AssignmentSpace::Element);
         assert_eq!(
             a.element_ranges(),
@@ -327,8 +353,8 @@ mod tests {
             nnz: hist.iter().sum(),
         };
         let q = UniformCost::new(4);
-        let a = CostGuidedCcp.plan_mode(0, &hist, &stats, &q);
-        let b = NnzCcp.plan_mode(0, &hist, &stats, &q);
+        let a = CostGuidedCcp.plan_mode(0, &hist, &stats, &q).unwrap();
+        let b = NnzCcp.plan_mode(0, &hist, &stats, &q).unwrap();
         assert_eq!(
             max_load(&hist, &a.index_ranges()),
             max_load(&hist, &b.index_ranges())

@@ -17,7 +17,8 @@ use amped_partition::balance::overhead_fraction;
 
 use crate::assignment::ModeAssignment;
 use crate::cost::CostQuery;
-use crate::partitioner::{hetero_chains, Partitioner, PlanStats};
+use crate::error::PlanError;
+use crate::partitioner::{try_hetero_chains, Partitioner, PlanStats};
 
 /// Decorator over an inner [`Partitioner`]: plans like the inner policy
 /// until [`RebalancingPlanner::observe`] records an imbalanced execution,
@@ -120,9 +121,12 @@ impl Partitioner for RebalancingPlanner {
         hist: &[u64],
         stats: &PlanStats,
         cost: &dyn CostQuery,
-    ) -> ModeAssignment {
+    ) -> Result<ModeAssignment, PlanError> {
         match self.observed.get(&mode) {
-            Some(speeds) => ModeAssignment::from_index_ranges(mode, hetero_chains(hist, speeds)),
+            Some(speeds) => {
+                let ranges = try_hetero_chains(hist, speeds)?;
+                Ok(ModeAssignment::from_index_ranges(mode, ranges))
+            }
             None => self.inner.plan_mode(mode, hist, stats, cost),
         }
     }
@@ -166,19 +170,19 @@ mod tests {
         let hist = vec![1u64; 300];
         let stats = PlanStats { nnz: 300 };
         let q = UniformCost::new(2);
-        let before = rb.plan_mode(0, &hist, &stats, &q);
+        let before = rb.plan_mode(0, &hist, &stats, &q).unwrap();
         // nnz-CCP splits evenly.
         assert_eq!(before.loads(&hist), vec![150, 150]);
         // Observe GPU 1 running at half speed.
         assert!(rb.observe(0, &[1.0, 2.0], &[150, 150]));
-        let after = rb.plan_mode(0, &hist, &stats, &q);
+        let after = rb.plan_mode(0, &hist, &stats, &q).unwrap();
         let loads = after.loads(&hist);
         assert!(
             loads[0] > loads[1],
             "fast device should take more work after rebalance: {loads:?}"
         );
         // Other modes keep the inner policy.
-        let other = rb.plan_mode(1, &hist, &stats, &q);
+        let other = rb.plan_mode(1, &hist, &stats, &q).unwrap();
         assert_eq!(other.loads(&hist), vec![150, 150]);
     }
 

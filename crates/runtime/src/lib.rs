@@ -27,8 +27,17 @@
 //!   op-level timeline (op kind, device, bytes, simulated start/end); see
 //!   `examples/timeline.rs`.
 //! * [`smexec`] / [`collective`] — the execution primitives themselves
-//!   (grid executor, ring all-gather), moved here from `amped-sim` so that
-//!   no caller outside this crate reaches them directly.
+//!   (grid executor, flat and hierarchical ring all-gathers), moved here
+//!   from `amped-sim` so that no caller outside this crate reaches them
+//!   directly.
+//!
+//! Multi-node clusters slot in through the same seam:
+//! [`SimRuntime::cluster`] builds the per-node device/host pools from a
+//! [`ClusterSpec`](amped_sim::ClusterSpec), transfers resolve the link tier
+//! per device pair ([`DeviceRuntime::p2p_link`]), and
+//! [`Collective::HierarchicalRing`] swaps the flat ring for the
+//! intra-node-ring + inter-node-exchange schedule — the engines above run
+//! unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,29 +1,44 @@
 //! The default backend: deterministic simulation on host threads.
 
 use crate::collective::{
-    host_staged_gather_time, host_staged_scatter_time, ring_allgather, ring_allgather_time,
+    hierarchical_allgather, hierarchical_allgather_time, host_staged_gather_time,
+    host_staged_gather_time_cluster, ring_allgather, ring_allgather_time,
+    ring_allgather_time_cluster,
 };
 use crate::device::{Device, Platform};
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::smexec::{list_schedule_makespan, run_grid, GridTiming};
-use amped_sim::{MemPool, PlatformSpec, SimError};
+use amped_sim::{ClusterSpec, LinkSpec, MemPool, PlatformSpec, SimError};
 
 /// [`DeviceRuntime`] backed by the deterministic platform simulator: kernels
 /// execute for real on host threads, time comes from the `amped-sim` cost
 /// model, memory is tracked in the owned [`Platform`] pools.
 ///
-/// This backend reproduces the pre-extraction behavior of the engines and
-/// baselines bit for bit (`tests/runtime_equivalence.rs`).
+/// Works on a single node ([`SimRuntime::new`]) or a multi-node cluster
+/// ([`SimRuntime::cluster`]): transfers and collectives resolve the link
+/// tier per device pair through the platform, so the same engine code runs
+/// on both. On a single node this backend reproduces the pre-extraction
+/// behavior of the engines and baselines bit for bit
+/// (`tests/runtime_equivalence.rs`).
 #[derive(Clone, Debug)]
 pub struct SimRuntime {
     platform: Platform,
 }
 
 impl SimRuntime {
-    /// A simulated runtime for `spec`.
+    /// A simulated runtime for a single node `spec`.
     pub fn new(spec: PlatformSpec) -> Self {
         Self {
             platform: Platform::new(spec),
+        }
+    }
+
+    /// A simulated runtime for a multi-node `cluster`. Engines see the
+    /// flattened GPU list through [`DeviceRuntime::spec`]; tier resolution
+    /// happens inside the transfer and collective ops.
+    pub fn cluster(cluster: ClusterSpec) -> Self {
+        Self {
+            platform: Platform::from_cluster(cluster),
         }
     }
 
@@ -68,27 +83,64 @@ impl DeviceRuntime for SimRuntime {
         run_grid(self.spec().gpus[gpu].sms, blocks, kernel, block_cost)
     }
 
-    fn h2d_time(&mut self, _gpu: usize, active: usize, bytes: u64) -> f64 {
-        self.h2d_link(active).transfer_time(bytes)
+    fn h2d_link_for(&self, gpu: usize, active: usize) -> LinkSpec {
+        self.platform.h2d_link(gpu, active)
     }
 
-    fn d2h_time(&mut self, _gpu: usize, active: usize, bytes: u64) -> f64 {
-        self.h2d_link(active).transfer_time(bytes)
+    fn p2p_link(&self, a: usize, b: usize) -> LinkSpec {
+        self.platform.p2p(a, b).clone()
+    }
+
+    fn h2d_time(&mut self, gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.platform.h2d_link(gpu, active).transfer_time(bytes)
+    }
+
+    fn d2h_time(&mut self, gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.platform.h2d_link(gpu, active).transfer_time(bytes)
     }
 
     fn scatter_time(&mut self, active: usize, slice_bytes: &[u64]) -> f64 {
-        host_staged_scatter_time(&self.h2d_link(active), slice_bytes)
+        // Each GPU pulls its slice from its own node's host concurrently;
+        // the stage costs the slowest slice in flight, and empty slices are
+        // free. On one node this is exactly `host_staged_scatter_time`.
+        slice_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(g, &b)| self.platform.h2d_link(g, active).transfer_time(b))
+            .fold(0.0f64, f64::max)
     }
 
     fn allgather_time(&mut self, algo: Collective, block_bytes: &[u64]) -> f64 {
         match algo {
-            Collective::Ring => ring_allgather_time(&self.spec().p2p, block_bytes),
-            Collective::HostStaged => host_staged_gather_time(&self.spec().pcie, block_bytes),
+            Collective::Ring => {
+                if self.platform.num_nodes() == 1 {
+                    ring_allgather_time(&self.spec().p2p, block_bytes)
+                } else {
+                    ring_allgather_time_cluster(self.platform.cluster(), block_bytes)
+                }
+            }
+            Collective::HostStaged => {
+                if self.platform.num_nodes() == 1 {
+                    host_staged_gather_time(&self.spec().pcie, block_bytes)
+                } else {
+                    // Each node stages through its own host; hosts exchange
+                    // node aggregates over the inter-node fabric.
+                    host_staged_gather_time_cluster(self.platform.cluster(), block_bytes)
+                }
+            }
+            Collective::HierarchicalRing => {
+                hierarchical_allgather_time(self.platform.cluster(), block_bytes)
+            }
         }
     }
 
     fn allgather_blocks(&mut self, blocks: &[FactorBlock]) -> Vec<Vec<FactorBlock>> {
-        ring_allgather(blocks)
+        if self.platform.num_nodes() == 1 {
+            ring_allgather(blocks)
+        } else {
+            hierarchical_allgather(blocks, &self.platform.cluster().node_ranges())
+        }
     }
 }
 
@@ -167,6 +219,43 @@ mod tests {
         assert!(
             ring < staged,
             "ring {ring} should beat host-staged {staged}"
+        );
+    }
+
+    #[test]
+    fn cluster_runtime_resolves_tiers_and_gathers_hierarchically() {
+        let c = ClusterSpec::rtx6000_ada_cluster(2, 2).scaled(1e-3);
+        let mut r = SimRuntime::cluster(c.clone());
+        assert_eq!(r.spec().num_gpus(), 4);
+        // p2p tier per pair.
+        assert_eq!(r.p2p_link(0, 1).gbps, c.nodes[0].p2p.gbps);
+        assert_eq!(r.p2p_link(1, 2).gbps, c.internode.gbps);
+        // Functional all-gather still delivers every block to every GPU.
+        let blocks: Vec<FactorBlock> = (0..4)
+            .map(|g| FactorBlock {
+                rows: vec![g as u32],
+                data: vec![g as f32; 8],
+            })
+            .collect();
+        let gathered = r.allgather_blocks(&blocks);
+        assert_eq!(gathered.len(), 4);
+        for row in &gathered {
+            assert_eq!(row, &blocks);
+        }
+        // Hierarchical timing beats the flat ring across the slow link.
+        let bytes = [8_000_000u64; 4];
+        let flat = r.allgather_time(Collective::Ring, &bytes);
+        let hier = r.allgather_time(Collective::HierarchicalRing, &bytes);
+        assert!(hier < flat, "hier {hier} should beat flat {flat}");
+    }
+
+    #[test]
+    fn single_node_hierarchical_equals_flat_ring() {
+        let mut r = rt(4);
+        let bytes = [1_000_000u64, 0, 2_000_000, 500_000];
+        assert_eq!(
+            r.allgather_time(Collective::HierarchicalRing, &bytes),
+            r.allgather_time(Collective::Ring, &bytes)
         );
     }
 

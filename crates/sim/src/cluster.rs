@@ -1,0 +1,255 @@
+//! Multi-node cluster specifications.
+//!
+//! The paper's platform is one node with four GPUs; the billion-scale
+//! north star needs tensors sharded across *several* such nodes. A
+//! [`ClusterSpec`] is a list of [`PlatformSpec`] nodes joined by a slower
+//! inter-node [`LinkSpec`] (InfiniBand-class, an order of magnitude under
+//! the intra-node GPUDirect P2P tier). Everything that made single-node
+//! behaviour emerge from arithmetic — capacity limits, link tiers,
+//! per-device throughput — carries over: a cluster is just more specs plus
+//! one more link tier, and the runtime layer resolves the right tier per
+//! device pair.
+//!
+//! A one-node cluster is *exactly* the single-node platform: every query
+//! degenerates to the [`PlatformSpec`] it wraps, which is what keeps the
+//! single-node execution path bit-identical to the pre-cluster code.
+
+use crate::spec::{LinkSpec, PlatformSpec};
+use serde::Serialize;
+use std::ops::Range;
+
+/// Contiguous index ranges from consecutive sizes — the single definition
+/// of node-by-node global GPU numbering, shared by [`ClusterSpec`], the
+/// two-level planner, and the collective tests (three hand-rolled copies
+/// of this prefix walk would have to stay in agreement otherwise).
+pub fn contiguous_ranges(sizes: &[usize]) -> Vec<Range<usize>> {
+    let mut ranges = Vec::with_capacity(sizes.len());
+    let mut start = 0;
+    for &s in sizes {
+        ranges.push(start..start + s);
+        start += s;
+    }
+    ranges
+}
+
+/// A multi-node GPU cluster: homogeneous or heterogeneous nodes joined by
+/// an inter-node interconnect slower than any intra-node link.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterSpec {
+    /// The member nodes, each a full single-node platform.
+    pub nodes: Vec<PlatformSpec>,
+    /// The inter-node link (e.g. InfiniBand). Any transfer between GPUs of
+    /// different nodes pays this tier instead of the intra-node P2P tier.
+    pub internode: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` identical RTX-6000-Ada nodes with
+    /// `gpus_per_node` GPUs each, joined by a 100 Gb/s-class InfiniBand
+    /// fabric (12 GB/s sustained per node, 2 µs latency) — the classic
+    /// "fast inside the box, slow between boxes" hierarchy the
+    /// hierarchical collectives exploit.
+    pub fn rtx6000_ada_cluster(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        Self {
+            nodes: vec![PlatformSpec::rtx6000_ada_node(gpus_per_node); nodes],
+            internode: LinkSpec {
+                gbps: 12.0,
+                latency_s: 2e-6,
+            },
+        }
+    }
+
+    /// Wraps a single node as a degenerate one-node cluster. The inter-node
+    /// link is never exercised (there is no device pair spanning nodes);
+    /// it is set to the node's P2P tier so the spec stays self-consistent.
+    pub fn single(node: PlatformSpec) -> Self {
+        let internode = node.p2p.clone();
+        Self {
+            nodes: vec![node],
+            internode,
+        }
+    }
+
+    /// Scales every node's capacities and fixed latencies by `scale`
+    /// (see [`PlatformSpec::scaled`]) along with the inter-node latency,
+    /// leaving all bandwidths untouched — the reduced-dataset convention.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.nodes = self.nodes.into_iter().map(|n| n.scaled(scale)).collect();
+        self.internode.latency_s *= scale;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of GPUs across all nodes.
+    pub fn num_gpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.num_gpus()).sum()
+    }
+
+    /// The node owning global GPU `g` (GPUs are numbered node by node).
+    ///
+    /// # Panics
+    /// Panics if `g` is outside the cluster.
+    pub fn node_of(&self, g: usize) -> usize {
+        let mut start = 0;
+        for (n, node) in self.nodes.iter().enumerate() {
+            start += node.num_gpus();
+            if g < start {
+                return n;
+            }
+        }
+        panic!("GPU {g} outside cluster of {} GPUs", self.num_gpus());
+    }
+
+    /// Global GPU index ranges per node, in node order.
+    pub fn node_ranges(&self) -> Vec<Range<usize>> {
+        let sizes: Vec<usize> = self.nodes.iter().map(|n| n.num_gpus()).collect();
+        contiguous_ranges(&sizes)
+    }
+
+    /// The intra-node GPU↔GPU link of the node owning global GPU pair
+    /// `(a, b)` when both are on the same node, or the inter-node link
+    /// otherwise — the single tier-resolution rule of the cluster model.
+    pub fn p2p(&self, a: usize, b: usize) -> &LinkSpec {
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        if na == nb {
+            &self.nodes[na].p2p
+        } else {
+            &self.internode
+        }
+    }
+
+    /// Flattens the cluster into one [`PlatformSpec`] whose GPU list
+    /// concatenates every node's GPUs in node order. Node-level facts
+    /// (host, PCIe, aggregate bandwidth, P2P) come from node 0 — layers
+    /// that need the per-node tiers ask the cluster, not the flattening;
+    /// the flattening exists so per-GPU consumers (cost models, grid
+    /// scheduling, planners) see the full device list unchanged.
+    pub fn flatten(&self) -> PlatformSpec {
+        let mut flat = self.nodes[0].clone();
+        flat.gpus = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.gpus.iter().cloned())
+            .collect();
+        flat
+    }
+
+    /// Checks structural invariants: at least one node, every node has at
+    /// least one GPU, and link parameters are finite and positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("cluster has no nodes".into());
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.num_gpus() == 0 {
+                return Err(format!("node {i} has no GPUs"));
+            }
+        }
+        if !(self.internode.gbps.is_finite() && self.internode.gbps > 0.0) {
+            return Err(format!(
+                "inter-node bandwidth must be finite and positive, got {}",
+                self.internode.gbps
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_builds_the_requested_shape() {
+        let c = ClusterSpec::rtx6000_ada_cluster(2, 4);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.num_gpus(), 8);
+        assert_eq!(c.node_ranges(), vec![0..4, 4..8]);
+        assert!(c.validate().is_ok());
+        // The inter-node tier is the slow one.
+        assert!(c.internode.gbps < c.nodes[0].p2p.gbps);
+    }
+
+    #[test]
+    fn node_of_maps_global_gpus_to_nodes() {
+        let c = ClusterSpec::rtx6000_ada_cluster(3, 2);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(1), 0);
+        assert_eq!(c.node_of(2), 1);
+        assert_eq!(c.node_of(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cluster")]
+    fn node_of_out_of_range_panics() {
+        ClusterSpec::rtx6000_ada_cluster(2, 2).node_of(4);
+    }
+
+    #[test]
+    fn p2p_resolves_the_tier_per_device_pair() {
+        let c = ClusterSpec::rtx6000_ada_cluster(2, 4);
+        // Same node: the node's P2P link.
+        assert_eq!(c.p2p(0, 3).gbps, c.nodes[0].p2p.gbps);
+        // Across nodes: the inter-node link.
+        assert_eq!(c.p2p(3, 4).gbps, c.internode.gbps);
+        assert_eq!(c.p2p(7, 0).gbps, c.internode.gbps);
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_to_its_platform() {
+        let p = PlatformSpec::rtx6000_ada_node(4);
+        let c = ClusterSpec::single(p.clone());
+        assert_eq!(c.num_nodes(), 1);
+        assert_eq!(c.num_gpus(), 4);
+        // Flattening a single-node cluster reproduces the node spec.
+        let flat = c.flatten();
+        assert_eq!(flat.num_gpus(), p.num_gpus());
+        assert_eq!(flat.gpus[0].sms, p.gpus[0].sms);
+        assert_eq!(flat.pcie.gbps, p.pcie.gbps);
+        assert_eq!(flat.p2p.gbps, p.p2p.gbps);
+        assert_eq!(flat.host.mem_bytes, p.host.mem_bytes);
+    }
+
+    #[test]
+    fn flatten_concatenates_gpus_in_node_order() {
+        let mut c = ClusterSpec::rtx6000_ada_cluster(2, 2);
+        c.nodes[1] = c.nodes[1]
+            .clone()
+            .with_throughput_multipliers(&[0.5, 0.5])
+            .unwrap();
+        let flat = c.flatten();
+        assert_eq!(flat.num_gpus(), 4);
+        assert_eq!(flat.gpus[0].clock_ghz, 2.5);
+        assert_eq!(flat.gpus[2].clock_ghz, 1.25);
+        assert!(!flat.is_homogeneous());
+    }
+
+    #[test]
+    fn scaled_shrinks_capacities_and_latencies_only() {
+        let c = ClusterSpec::rtx6000_ada_cluster(2, 2).scaled(1e-3);
+        assert_eq!(c.nodes[0].gpus[0].dram_gbps, 960.0);
+        assert!(c.nodes[0].gpus[0].mem_bytes < 100_000_000);
+        assert_eq!(c.internode.gbps, 12.0);
+        assert!((c.internode.latency_s - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_bad_links() {
+        let mut c = ClusterSpec::rtx6000_ada_cluster(2, 2);
+        c.internode.gbps = 0.0;
+        assert!(c.validate().is_err());
+        let empty = ClusterSpec {
+            nodes: vec![],
+            internode: LinkSpec {
+                gbps: 1.0,
+                latency_s: 0.0,
+            },
+        };
+        assert!(empty.validate().is_err());
+    }
+}

@@ -28,6 +28,9 @@ pub enum StreamError {
     /// A simulated-platform failure — in this crate always
     /// [`SimError::OutOfMemory`] from the host staging budget.
     Sim(SimError),
+    /// A planning failure from the `amped-plan` layer during pass 1 (e.g.
+    /// an output-index space exceeding the `u32` range bounds).
+    Plan(amped_plan::PlanError),
 }
 
 impl std::fmt::Display for StreamError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::Tns(e) => write!(f, ".tns parse error: {e}"),
             StreamError::Sim(e) => write!(f, "{e}"),
+            StreamError::Plan(e) => write!(f, "streaming pass 1: {e}"),
         }
     }
 }
@@ -51,6 +55,7 @@ impl std::error::Error for StreamError {
             StreamError::Io { source, .. } => Some(source),
             StreamError::Tns(e) => Some(e),
             StreamError::Sim(e) => Some(e),
+            StreamError::Plan(e) => Some(e),
             StreamError::Format { .. } => None,
         }
     }
@@ -65,6 +70,12 @@ impl From<TnsError> for StreamError {
 impl From<SimError> for StreamError {
     fn from(e: SimError) -> Self {
         StreamError::Sim(e)
+    }
+}
+
+impl From<amped_plan::PlanError> for StreamError {
+    fn from(e: amped_plan::PlanError) -> Self {
+        StreamError::Plan(e)
     }
 }
 

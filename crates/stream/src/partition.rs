@@ -146,19 +146,18 @@ impl StreamPlan {
         };
 
         // --- Pass 1: device ranges from the footer histograms (no payload I/O).
-        let device_ranges: Vec<Vec<Range<Idx>>> = (0..order)
-            .map(|d| {
-                let a = planner.plan_mode(d, &reader.meta().hist[d], &stats, cost);
-                assert_eq!(
-                    a.space,
-                    AssignmentSpace::OutputIndex,
-                    "streaming plans need output-index assignments ({} produced {:?})",
-                    planner.name(),
-                    a.space
-                );
-                a.index_ranges()
-            })
-            .collect();
+        let mut device_ranges: Vec<Vec<Range<Idx>>> = Vec::with_capacity(order);
+        for d in 0..order {
+            let a = planner.plan_mode(d, &reader.meta().hist[d], &stats, cost)?;
+            assert_eq!(
+                a.space,
+                AssignmentSpace::OutputIndex,
+                "streaming plans need output-index assignments ({} produced {:?})",
+                planner.name(),
+                a.space
+            );
+            device_ranges.push(a.index_ranges());
+        }
 
         // --- Pass 2: one bounded scan for per-chunk, per-mode slice stats.
         let mut modes: Vec<StreamModePlan> = (0..order)

@@ -51,16 +51,16 @@ pub mod prelude {
     pub use amped_linalg::Mat;
     pub use amped_partition::{EqualPlan, ModePlan, PartitionPlan};
     pub use amped_plan::{
-        modeled_makespan, AssignmentSpace, CostGuidedCcp, CostQuery, EqualSplit, ModeAssignment,
-        NnzCcp, Partitioner, PlanStats, PlatformCostQuery, RebalancingPlanner, UniformCost,
-        WorkloadProfile,
+        modeled_makespan, AssignmentSpace, CostGuidedCcp, CostQuery, EqualSplit, HierarchicalCcp,
+        ModeAssignment, NnzCcp, Partitioner, PlanError, PlanStats, PlatformCostQuery,
+        RebalancingPlanner, UniformCost, WorkloadProfile,
     };
     pub use amped_runtime::{
-        Collective, Device, DeviceRuntime, GridTiming, Platform, SimRuntime, Timeline,
+        Collective, Device, DeviceRuntime, FactorBlock, GridTiming, Platform, SimRuntime, Timeline,
         TracingRuntime,
     };
     pub use amped_sim::metrics::{geomean, RunReport};
-    pub use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
+    pub use amped_sim::{ClusterSpec, MemPool, PlatformSpec, SimError, TimeBreakdown};
     pub use amped_stream::{
         convert_tns_to_tnsb, write_tnsb, ChunkReader, StreamError, StreamPlan, TnsbMeta, TnsbWriter,
     };

@@ -122,6 +122,78 @@ fn compute_load_is_balanced_across_gpus() {
 }
 
 #[test]
+fn time_breakdown_reconciles_with_wall_time() {
+    // The h2d bucket carries only *exposed* transfer time (link actually
+    // busy while compute stalls); double-buffer and pipeline slack land in
+    // idle. The buckets must still tile the mode wall exactly:
+    // compute + h2d + idle + p2p == wall for every GPU, in-core and OOC.
+    let t = GenSpec {
+        shape: vec![2000, 500, 500],
+        nnz: 60_000,
+        skew: vec![0.8, 0.4, 0.0],
+        seed: 410,
+    }
+    .generate();
+    let factors = factors_for(&t, 32, 411);
+    let cfg = AmpedConfig {
+        rank: 32,
+        isp_nnz: 1024,
+        shard_nnz_budget: 4096,
+        ..Default::default()
+    };
+    let check = |timing: &ModeTiming, label: &str| {
+        for (g, b) in timing.per_gpu.iter().enumerate() {
+            let total = b.compute + b.h2d + b.idle + b.p2p;
+            assert!(
+                (total - timing.wall).abs() <= 1e-9 * timing.wall.max(1e-30),
+                "{label}: GPU {g} buckets ({total:.9e}) must reconcile with wall \
+                 ({:.9e}); breakdown {b:?}",
+                timing.wall
+            );
+            assert!(b.h2d >= 0.0 && b.idle >= 0.0);
+        }
+    };
+    let mut e = AmpedEngine::new(
+        &t,
+        PlatformSpec::rtx6000_ada_node(4).scaled(1e-3),
+        cfg.clone(),
+    )
+    .unwrap();
+    for d in 0..t.order() {
+        let (_, timing) = e.mttkrp_mode(d, &factors).unwrap();
+        check(&timing, "in-core");
+    }
+    // Heterogeneous spec: stalls differ per GPU, buckets must still tile.
+    let mut h = AmpedEngine::new(
+        &t,
+        PlatformSpec::hetero_2fast_2slow().scaled(1e-3),
+        cfg.clone(),
+    )
+    .unwrap();
+    let (_, timing) = h.mttkrp_mode(0, &factors).unwrap();
+    check(&timing, "in-core hetero");
+    // Out of core: the scatter pipeline gates all GPUs globally, which is
+    // exactly where stall time used to masquerade as transfer time.
+    let dir = std::env::temp_dir().join("amped_perf_shape");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reconcile.tnsb");
+    write_tnsb(&t, &path, 4096).unwrap();
+    let budget = 4096 * (t.elem_bytes() + t.order() as u64 * 4) * 2;
+    let mut ooc = OocEngine::open(
+        &path,
+        PlatformSpec::rtx6000_ada_node(4).scaled(1e-3),
+        cfg,
+        budget,
+    )
+    .unwrap();
+    for d in 0..t.order() {
+        let (_, timing) = OocEngine::mttkrp_mode(&mut ooc, d, &factors).unwrap();
+        check(&timing, "out-of-core");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn communication_fraction_grows_with_mode_sizes() {
     // Fig. 7's mechanism: larger index spaces → more all-gather bytes per
     // unit of compute.

@@ -109,7 +109,7 @@ fn nnz_ccp_planner_matches_pre_refactor_assignments() {
         let cost = UniformCost::new(p.gpus);
         for d in 0..t.order() {
             let hist = t.mode_hist(d);
-            let a = NnzCcp.plan_mode(d, &hist, &stats, &cost);
+            let a = NnzCcp.plan_mode(d, &hist, &stats, &cost).unwrap();
             assert_eq!(
                 a.index_ranges(),
                 p.ccp_ranges[d],
@@ -156,7 +156,7 @@ fn equal_split_planner_matches_pre_refactor_chunks() {
         let stats = PlanStats { nnz: p.nnz as u64 };
         let cost = UniformCost::new(p.gpus);
         for d in 0..t.order() {
-            let a = EqualSplit.plan_mode(d, &[], &stats, &cost);
+            let a = EqualSplit.plan_mode(d, &[], &stats, &cost).unwrap();
             assert_eq!(
                 a.element_ranges(),
                 p.equal_ranges,

@@ -38,8 +38,8 @@ fn cost_guided_ccp_cuts_modeled_makespan_by_15_percent() {
     };
     for d in 0..t.order() {
         let hist = t.mode_hist(d);
-        let by_nnz = NnzCcp.plan_mode(d, &hist, &stats, &q);
-        let by_cost = CostGuidedCcp.plan_mode(d, &hist, &stats, &q);
+        let by_nnz = NnzCcp.plan_mode(d, &hist, &stats, &q).unwrap();
+        let by_cost = CostGuidedCcp.plan_mode(d, &hist, &stats, &q).unwrap();
         let mk_nnz = modeled_makespan(&by_nnz, &hist, &q);
         let mk_cost = modeled_makespan(&by_cost, &hist, &q);
         assert!(
@@ -75,8 +75,8 @@ fn homogeneous_platform_makes_cost_guided_equal_nnz_ccp() {
     };
     for d in 0..t.order() {
         let hist = t.mode_hist(d);
-        let by_nnz = NnzCcp.plan_mode(d, &hist, &stats, &q);
-        let by_cost = CostGuidedCcp.plan_mode(d, &hist, &stats, &q);
+        let by_nnz = NnzCcp.plan_mode(d, &hist, &stats, &q).unwrap();
+        let by_cost = CostGuidedCcp.plan_mode(d, &hist, &stats, &q).unwrap();
         let max_nnz = by_nnz.loads(&hist).into_iter().max().unwrap();
         let max_cost = by_cost.loads(&hist).into_iter().max().unwrap();
         assert_eq!(
@@ -130,6 +130,53 @@ fn engine_runs_cost_guided_plan_faster_and_correct_on_hetero_node() {
         "cost-guided wall {:.6} should undercut nnz-equal wall {:.6} by ≥10%",
         t_cost.wall,
         t_nnz.wall
+    );
+}
+
+#[test]
+fn dynamic_queue_prices_candidates_correctly_on_hetero_node() {
+    // Regression: the earliest-finish greedy used each shard's precomputed
+    // compute time, which is priced against the shard's *planning owner* —
+    // on a heterogeneous spec that estimated a fast GPU's finish with a
+    // slow GPU's cost (and vice versa). With per-candidate re-pricing the
+    // dynamic schedule's modeled makespan must be no worse than static
+    // nnz-balanced CCP, which leaves the slow pair on the critical path.
+    let t = zipf_tensor();
+    let cfg = AmpedConfig {
+        rank: 32,
+        isp_nnz: 2048,
+        shard_nnz_budget: 16_384,
+        ..Default::default()
+    };
+    let spec = PlatformSpec::hetero_2fast_2slow().scaled(1e-3);
+    let mut dynamic = AmpedEngine::new(
+        &t,
+        spec.clone(),
+        AmpedConfig {
+            schedule: SchedulePolicy::DynamicQueue,
+            ..cfg.clone()
+        },
+    )
+    .unwrap();
+    let mut static_ccp = AmpedEngine::new(&t, spec, cfg.clone()).unwrap();
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(79);
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, cfg.rank, &mut rng))
+        .collect();
+    let want = mttkrp_ref(&t, &factors, 0);
+    let (out_dyn, t_dyn) = dynamic.mttkrp_mode(0, &factors).unwrap();
+    let (out_static, t_static) = static_ccp.mttkrp_mode(0, &factors).unwrap();
+    assert!(out_dyn.approx_eq(&want, 1e-3, 1e-4));
+    assert!(out_static.approx_eq(&want, 1e-3, 1e-4));
+    assert!(
+        t_dyn.wall <= t_static.wall * 1.0001,
+        "dynamic earliest-finish ({:.6}s) must not lose to static nnz-CCP ({:.6}s) \
+         on the 2-fast-2-slow node",
+        t_dyn.wall,
+        t_static.wall
     );
 }
 

@@ -1,0 +1,66 @@
+//! Property test: the hierarchical all-gather delivers *exactly* the block
+//! sets the flat ring delivers — for arbitrary node/GPU shapes, including
+//! the 1×m degenerate cluster (where the hierarchy *is* the flat ring) and
+//! GPUs contributing empty blocks. Only the schedule (and therefore the
+//! modeled time) differs between the two collectives; the delivered data
+//! must be indistinguishable, which is what lets engines switch gather
+//! algorithms without touching correctness.
+
+use amped::prelude::*;
+use amped::runtime::collective::{
+    hierarchical_allgather, hierarchical_allgather_time, ring_allgather, ring_allgather_time,
+};
+use amped::sim::cluster::contiguous_ranges as node_ranges;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prop_hierarchical_delivers_exactly_the_flat_ring_blocks(
+        sizes in proptest::collection::vec(1usize..5, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let m: usize = sizes.iter().sum();
+        // Deterministic per-GPU blocks from the seed; roughly one in three
+        // GPUs contributes an empty block.
+        let blocks: Vec<FactorBlock> = (0..m)
+            .map(|g| {
+                let x = seed.wrapping_mul(2654435761).wrapping_add(g as u64);
+                let rows = (x % 3) as usize * (g + 1) % 4;
+                FactorBlock {
+                    rows: (0..rows as u32).map(|r| r + 100 * g as u32).collect(),
+                    data: (0..rows * 8).map(|i| (g * 1000 + i) as f32).collect(),
+                }
+            })
+            .collect();
+        let hier = hierarchical_allgather(&blocks, &node_ranges(&sizes));
+        let flat = ring_allgather(&blocks);
+        prop_assert_eq!(&hier, &flat, "shapes {:?}", sizes);
+        // Layout invariant: out[g][src] is src's original block.
+        for row in &hier {
+            prop_assert_eq!(row, &blocks);
+        }
+    }
+
+    #[test]
+    fn prop_one_node_cluster_times_like_the_flat_ring(
+        gpus in 1usize..6,
+        bytes in proptest::collection::vec(0u64..10_000_000, 1..6),
+    ) {
+        let c = ClusterSpec::rtx6000_ada_cluster(1, gpus);
+        let mut blocks = bytes;
+        blocks.resize(gpus, 0);
+        let hier = hierarchical_allgather_time(&c, &blocks);
+        let flat = ring_allgather_time(&c.nodes[0].p2p, &blocks);
+        prop_assert_eq!(hier, flat, "1×{} must degenerate to the flat ring", gpus);
+    }
+}
+
+#[test]
+fn empty_blocks_everywhere_still_deliver() {
+    let blocks = vec![FactorBlock::default(); 6];
+    let gathered = hierarchical_allgather(&blocks, &node_ranges(&[2, 3, 1]));
+    assert_eq!(gathered.len(), 6);
+    for row in &gathered {
+        assert_eq!(row, &blocks);
+    }
+}
