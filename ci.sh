@@ -9,30 +9,40 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== 1/8 cargo fmt --check ==="
+echo "=== 1/9 cargo fmt --check ==="
 cargo fmt --check
 
-echo "=== 2/8 cargo build --release ==="
+echo "=== 2/9 cargo build --release ==="
 cargo build --release
 
-echo "=== 3/8 cargo test -q ==="
+echo "=== 3/9 cargo test -q ==="
 cargo test -q
 
-echo "=== 4/8 cargo clippy --all-targets -- -D warnings ==="
+echo "=== 4/9 cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
-echo "=== 5/8 cargo doc --no-deps (warnings denied) ==="
+echo "=== 5/9 cargo doc --no-deps (warnings denied) ==="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "=== 6/8 cargo bench -p amped-bench -- --test (smoke) ==="
+echo "=== 6/9 cargo bench -p amped-bench -- --test (smoke) ==="
 cargo bench -p amped-bench -- --test
 
-echo "=== 7/8 cluster example (smoke) ==="
+echo "=== 7/9 cluster example (smoke) ==="
 # The multi-node path end to end: ClusterSpec → SimRuntime::cluster →
 # HierarchicalCcp → hierarchical all-gather, through the unchanged engine.
 cargo run --release --example cluster
 
-echo "=== 8/8 bench_diff BENCH_pr4.json BENCH_pr5.json (informational) ==="
+echo "=== 8/9 ec_kernel smoke + bench_diff BENCH_pr5.json BENCH_pr6.json (gating) ==="
+# The kernel-layer smoke: the elementwise bench compiles and runs, and the
+# committed pr6 snapshot shows the privatized parallel kernel beating the
+# sequential oracle. The assert-faster check compares two rows of the *same*
+# snapshot, so it is machine-consistent and safe to gate on (unlike the
+# cross-snapshot deltas, which stay informational).
+cargo bench -p amped-bench --bench ec_kernel -- --test
+cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr5.json BENCH_pr6.json \
+  "--assert-faster=ec_kernel/parallel_privatized/r32,ec_kernel/sequential/r32"
+
+echo "=== 9/9 bench_diff BENCH_pr4.json BENCH_pr5.json (informational) ==="
 # Snapshot deltas across machines are noise-prone; this stage prints the
 # table but never fails CI (add --fail-on-regression for a gating run).
 cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr4.json BENCH_pr5.json \

@@ -9,10 +9,11 @@
 use crate::system::{chunk_ranges, stats_from_coords, Capabilities, MttkrpSystem, SystemRun};
 use amped_formats::LinTensor;
 use amped_linalg::Mat;
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Extra per-element instruction cost of BLCO's bit-field decode.
@@ -102,7 +103,8 @@ impl MttkrpSystem for BlcoSystem {
         };
 
         for d in 0..order {
-            let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
+            let out = MttkrpOut::zeros(tensor.dim(d) as usize, rank);
+            let fviews = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), rank);
             let mut transfers = Vec::with_capacity(lt.blocks().len());
             let mut computes = Vec::with_capacity(lt.blocks().len());
             for b in 0..lt.blocks().len() {
@@ -138,32 +140,12 @@ impl MttkrpSystem for BlcoSystem {
                     .collect();
                 computes.push(runtime.makespan(0, &costs).makespan);
 
-                // Real execution of this block's grid.
-                runtime.launch_grid(
-                    0,
-                    chunks.len(),
-                    &|ci| {
-                        let (lo, hi) = chunks[ci];
-                        let mut prod = vec![0.0f32; rank];
-                        for (coords, val) in &elems[lo..hi] {
-                            prod.fill(*val);
-                            for (w, f) in fs.iter().enumerate() {
-                                if w == d {
-                                    continue;
-                                }
-                                let row = f.row(coords[w] as usize);
-                                for (p, &x) in prod.iter_mut().zip(row) {
-                                    *p *= x;
-                                }
-                            }
-                            let i = coords[d] as usize;
-                            for (c, &p) in prod.iter().enumerate() {
-                                out.add(i, c, p);
-                            }
-                        }
-                    },
-                    &|ci| costs[ci],
-                );
+                // Real execution of this block's grid through the kernel
+                // layer (all chunks of a streamed block share `out`).
+                let isps: Vec<std::ops::Range<usize>> =
+                    chunks.iter().map(|&(lo, hi)| lo..hi).collect();
+                let src = FnSource::new(|e, m| elems[e].0[m], |e| elems[e].1);
+                launch_mttkrp(runtime, 0, &src, d, &fviews, &isps, &costs, &out);
             }
             // Out-of-memory BLCO synchronizes per streamed block: the
             // conflict-resolution sweep between blocks prevents the deep

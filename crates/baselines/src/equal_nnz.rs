@@ -12,10 +12,11 @@ use crate::system::{pipeline_time, Capabilities, MttkrpSystem, SystemRun};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, EqualPlan, ShardStats};
 use amped_plan::{EqualSplit, Partitioner, PlanStats, UniformCost};
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Equal-nnz distribution across all GPUs of the platform.
@@ -125,7 +126,9 @@ impl MttkrpSystem for EqualNnzSystem {
 
         for d in 0..order {
             let plan = &plans[d];
-            let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
+            let out = MttkrpOut::zeros(tensor.dim(d) as usize, rank);
+            let src = FnSource::new(|e, mm| tensor.idx(e, mm), |e| tensor.value(e));
+            let fviews = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), rank);
             let mut ends = vec![0.0f64; m];
             for chunk in &plan.chunks {
                 let g = chunk.gpu;
@@ -160,34 +163,11 @@ impl MttkrpSystem for EqualNnzSystem {
                         .collect();
                     computes.push(runtime.makespan(g, &costs).makespan);
 
-                    // Real execution with atomics into the shared output
-                    // (the host merge is priced below; numerically the merge
-                    // of partial sums equals direct accumulation).
-                    runtime.launch_grid(
-                        g,
-                        isps.len(),
-                        &|b| {
-                            let mut prod = vec![0.0f32; rank];
-                            for e in isps[b].clone() {
-                                let coords = tensor.coords(e);
-                                prod.fill(tensor.value(e));
-                                for (w, f) in fs.iter().enumerate() {
-                                    if w == d {
-                                        continue;
-                                    }
-                                    let row = f.row(coords[w] as usize);
-                                    for (p, &x) in prod.iter_mut().zip(row) {
-                                        *p *= x;
-                                    }
-                                }
-                                let i = coords[d] as usize;
-                                for (c, &p) in prod.iter().enumerate() {
-                                    out.add(i, c, p);
-                                }
-                            }
-                        },
-                        &|b| costs[b],
-                    );
+                    // Real execution through the kernel layer into the
+                    // shared output (the host merge is priced below;
+                    // numerically the merge of partial sums equals direct
+                    // accumulation).
+                    launch_mttkrp(runtime, g, &src, d, &fviews, &isps, &costs, &out);
                 }
                 let (end, busy) = pipeline_time(&transfers, &computes);
                 ends[g] = end;

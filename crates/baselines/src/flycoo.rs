@@ -11,10 +11,11 @@
 use crate::system::{Capabilities, MttkrpSystem, SystemRun};
 use amped_linalg::Mat;
 use amped_partition::{isp_ranges, PartitionPlan, ShardStats};
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// FLYCOO-GPU on one simulated GPU.
@@ -126,34 +127,13 @@ impl MttkrpSystem for FlycooSystem {
             let makespan = runtime.makespan(0, &costs).makespan;
             let mode_wall = makespan.max(remap_time);
 
-            // Real execution over the mode-sorted resident copy.
-            let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
+            // Real execution over the mode-sorted resident copy, through the
+            // kernel layer.
+            let out = MttkrpOut::zeros(tensor.dim(d) as usize, rank);
             let tsr = &mp.tensor;
-            runtime.launch_grid(
-                0,
-                isps.len(),
-                &|b| {
-                    let mut prod = vec![0.0f32; rank];
-                    for e in isps[b].clone() {
-                        let coords = tsr.coords(e);
-                        prod.fill(tsr.value(e));
-                        for (w, f) in fs.iter().enumerate() {
-                            if w == d {
-                                continue;
-                            }
-                            let row = f.row(coords[w] as usize);
-                            for (p, &x) in prod.iter_mut().zip(row) {
-                                *p *= x;
-                            }
-                        }
-                        let i = coords[d] as usize;
-                        for (c, &p) in prod.iter().enumerate() {
-                            out.add(i, c, p);
-                        }
-                    }
-                },
-                &|b| costs[b],
-            );
+            let src = FnSource::new(|e, m| tsr.idx(e, m), |e| tsr.value(e));
+            let fviews = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), rank);
+            launch_mttkrp(runtime, 0, &src, d, &fviews, &isps, &costs, &out);
             fs[d] = Mat::from_vec(tensor.dim(d) as usize, rank, out.to_vec());
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
 

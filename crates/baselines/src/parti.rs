@@ -10,10 +10,11 @@
 use crate::system::{stats_from_coords, Capabilities, MttkrpSystem, SystemRun};
 use amped_formats::HicooTensor;
 use amped_linalg::Mat;
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::SparseTensor;
 
 /// Per-element overhead of block-coordinate reconstruction.
@@ -118,6 +119,21 @@ impl MttkrpSystem for PartiSystem {
             }
         }
 
+        // Flattened element view of the HiCOO blocks (block order) plus each
+        // superblock unit's element range — the kernel layer addresses
+        // elements, not blocks.
+        let elems: Vec<(Vec<u32>, f32)> =
+            (0..h.num_blocks()).flat_map(|b| h.block_iter(b)).collect();
+        let mut block_starts = Vec::with_capacity(h.num_blocks() + 1);
+        block_starts.push(0usize);
+        for b in 0..h.num_blocks() {
+            block_starts.push(block_starts[b] + h.block_nnz(b));
+        }
+        let eranges: Vec<std::ops::Range<usize>> = units
+            .iter()
+            .map(|u| block_starts[u.start]..block_starts[u.end])
+            .collect();
+
         let elem_bytes = (order as u64) + 4; // HiCOO element payload
         let cache_rows = (gpu.l2_bytes / (rank as u64 * 4)).max(1) as usize;
         let mut fs = factors.to_vec();
@@ -154,34 +170,12 @@ impl MttkrpSystem for PartiSystem {
                 .collect();
             let makespan = runtime.makespan(0, &costs).makespan;
 
-            // Real execution: grid over superblock units with atomics.
-            let out = AtomicMat::zeros(tensor.dim(d) as usize, rank);
-            runtime.launch_grid(
-                0,
-                units.len(),
-                &|ui| {
-                    let mut prod = vec![0.0f32; rank];
-                    for b in units[ui].clone() {
-                        for (coords, val) in h.block_iter(b) {
-                            prod.fill(val);
-                            for (w, f) in fs.iter().enumerate() {
-                                if w == d {
-                                    continue;
-                                }
-                                let row = f.row(coords[w] as usize);
-                                for (p, &x) in prod.iter_mut().zip(row) {
-                                    *p *= x;
-                                }
-                            }
-                            let i = coords[d] as usize;
-                            for (c, &p) in prod.iter().enumerate() {
-                                out.add(i, c, p);
-                            }
-                        }
-                    }
-                },
-                &|ui| costs[ui],
-            );
+            // Real execution: grid over superblock units through the kernel
+            // layer.
+            let out = MttkrpOut::zeros(tensor.dim(d) as usize, rank);
+            let src = FnSource::new(|e, m| elems[e].0[m], |e| elems[e].1);
+            let fviews = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), rank);
+            launch_mttkrp(runtime, 0, &src, d, &fviews, &eranges, &costs, &out);
             fs[d] = Mat::from_vec(tensor.dim(d) as usize, rank, out.to_vec());
             fs[d].normalize_cols(); // keep chained values in f32 range (ALS λ-normalization)
 

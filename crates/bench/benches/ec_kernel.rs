@@ -4,7 +4,7 @@
 //! computation on the host reference kernels — real measured throughput, not
 //! simulated time.
 
-use amped_core::reference::{mttkrp_par, mttkrp_ref};
+use amped_core::reference::{mttkrp_privatized, mttkrp_ref};
 use amped_linalg::Mat;
 use amped_tensor::gen::GenSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -26,9 +26,13 @@ fn bench_ec(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sequential", rank), &rank, |b, _| {
             b.iter(|| mttkrp_ref(&t, &factors, 0));
         });
-        group.bench_with_input(BenchmarkId::new("parallel_atomic", rank), &rank, |b, _| {
-            b.iter(|| mttkrp_par(&t, &factors, 0));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_privatized", rank),
+            &rank,
+            |b, _| {
+                b.iter(|| mttkrp_privatized(&t, &factors, 0));
+            },
+        );
     }
     group.finish();
 }

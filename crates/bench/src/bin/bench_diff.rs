@@ -3,12 +3,20 @@
 //! flagging regressions beyond 10%.
 //!
 //! Usage: `cargo run --release -p amped-bench --bin bench_diff -- \
-//!           BENCH_seed.json BENCH_pr4.json [--fail-on-regression]`
+//!           BENCH_seed.json BENCH_pr4.json [--fail-on-regression] \
+//!           [--assert-faster=<fast>,<slow>]`
 //!
-//! The comparison is *informational* by design — snapshots from different
-//! machines (or different background load) drift, so CI runs it without
-//! `--fail-on-regression` and humans read the table. Entries present in
-//! only one snapshot are listed as added/removed, never flagged.
+//! The cross-snapshot comparison is *informational* by design — snapshots
+//! from different machines (or different background load) drift, so CI runs
+//! it without `--fail-on-regression` and humans read the table. Entries
+//! present in only one snapshot are listed as added/removed, never flagged.
+//!
+//! `--assert-faster=<fast>,<slow>` (repeatable) checks a relation *within*
+//! the after-snapshot — entry `<fast>` must have a strictly smaller median
+//! than `<slow>` — and fails the run otherwise. Unlike the cross-snapshot
+//! deltas this is machine-consistent (both medians come from the same run),
+//! so CI can gate on it: e.g. the parallel elementwise kernel must beat the
+//! sequential oracle.
 
 use serde_json::Value;
 use std::process::ExitCode;
@@ -78,7 +86,12 @@ fn load_snapshot(path: &str) -> Result<Snapshot, String> {
     Ok(Snapshot { label, entries })
 }
 
-fn run(before_path: &str, after_path: &str, fail_on_regression: bool) -> Result<ExitCode, String> {
+fn run(
+    before_path: &str,
+    after_path: &str,
+    fail_on_regression: bool,
+    assert_faster: &[(String, String)],
+) -> Result<ExitCode, String> {
     let before = load_snapshot(before_path)?;
     let after = load_snapshot(after_path)?;
     println!(
@@ -151,18 +164,55 @@ fn run(before_path: &str, after_path: &str, fail_on_regression: bool) -> Result<
     } else {
         println!("\nno regressions beyond {:.0}%.", THRESHOLD * 100.0);
     }
+    for (fast, slow) in assert_faster {
+        let f = after
+            .entries
+            .iter()
+            .find(|(n, _)| n == fast)
+            .ok_or_else(|| format!("--assert-faster: `{fast}` not in {after_path}"))?
+            .1;
+        let s = after
+            .entries
+            .iter()
+            .find(|(n, _)| n == slow)
+            .ok_or_else(|| format!("--assert-faster: `{slow}` not in {after_path}"))?
+            .1;
+        if f < s {
+            println!("assert-faster: `{fast}` beats `{slow}` ({:.2}x)", s / f);
+        } else {
+            println!(
+                "assert-faster FAILED: `{fast}` ({:.3} ms) is not faster than `{slow}` ({:.3} ms)",
+                f * 1e3,
+                s * 1e3
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
+    let mut assert_faster = Vec::new();
+    for a in &args {
+        if let Some(pair) = a.strip_prefix("--assert-faster=") {
+            let Some((fast, slow)) = pair.split_once(',') else {
+                eprintln!("bench_diff: --assert-faster expects `<fast>,<slow>`, got `{pair}`");
+                return ExitCode::FAILURE;
+            };
+            assert_faster.push((fast.to_string(), slow.to_string()));
+        }
+    }
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [before, after] = paths.as_slice() else {
-        eprintln!("usage: bench_diff <before.json> <after.json> [--fail-on-regression]");
+        eprintln!(
+            "usage: bench_diff <before.json> <after.json> [--fail-on-regression] \
+             [--assert-faster=<fast>,<slow>]"
+        );
         return ExitCode::FAILURE;
     };
-    match run(before, after, fail_on_regression) {
+    match run(before, after, fail_on_regression, &assert_faster) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("bench_diff: {e}");

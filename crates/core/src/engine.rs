@@ -15,10 +15,11 @@ use amped_plan::{
     AssignmentSpace, CostQuery, ModeAssignment, NnzCcp, Partitioner, PlanStats, PlatformCostQuery,
     UniformCost, WorkloadProfile,
 };
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
-use amped_sim::{AtomicMat, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::{Idx, SparseTensor};
 use std::ops::Range;
 
@@ -411,7 +412,7 @@ impl AmpedEngine {
         let assignment = self.assignment(d);
         let active = assignment.iter().filter(|a| !a.is_empty()).count().max(1);
         let rows_out = self.plan.modes[d].tensor.dim(d) as usize;
-        let out = AtomicMat::zeros(rows_out, rank);
+        let out = MttkrpOut::zeros(rows_out, rank);
 
         let mut per_gpu = vec![TimeBreakdown::default(); m];
         let mut ends = vec![0.0f64; m];
@@ -427,6 +428,7 @@ impl AmpedEngine {
             ..
         } = self;
         let runtime = runtime.as_mut();
+        let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
 
         for (g, shard_ids) in assignment.iter().enumerate() {
             // Double-buffered streaming pipeline (§4.8): transfer k+1 overlaps
@@ -447,34 +449,14 @@ impl AmpedEngine {
                 compute_end[k] = prev_compute.max(transfer_end[k]) + su_compute;
                 compute_busy += su_compute;
 
-                // --- Real execution of the grid (Algorithm 2).
+                // --- Real execution of the grid (Algorithm 2) through the
+                // kernel layer: one threadblock per ISP, privatized output
+                // tiles when the grid has more than one block.
                 let tensor = &plan.modes[d].tensor;
-                let isps = &su.isps;
-                runtime.launch_grid(
-                    g,
-                    isps.len(),
-                    &|b| {
-                        let mut prod = vec![0.0f32; rank];
-                        for e in isps[b].range.clone() {
-                            let coords = tensor.coords(e);
-                            prod.fill(tensor.value(e));
-                            for (w, f) in factors.iter().enumerate() {
-                                if w == d {
-                                    continue;
-                                }
-                                let row = f.row(coords[w] as usize);
-                                for (p, &x) in prod.iter_mut().zip(row) {
-                                    *p *= x;
-                                }
-                            }
-                            let i = coords[d] as usize;
-                            for (c, &p) in prod.iter().enumerate() {
-                                out.add(i, c, p);
-                            }
-                        }
-                    },
-                    &|b| isps[b].cost,
-                );
+                let src = FnSource::new(|e, m| tensor.idx(e, m), |e| tensor.value(e));
+                let blocks: Vec<_> = su.isps.iter().map(|u| u.range.clone()).collect();
+                let costs: Vec<f64> = su.isps.iter().map(|u| u.cost).collect();
+                launch_mttkrp(runtime, g, &src, d, &fviews, &blocks, &costs, &out);
             }
             let end = compute_end.last().copied().unwrap_or(0.0);
             ends[g] = end;
@@ -689,7 +671,7 @@ fn gather_rows(
     runtime: &mut dyn DeviceRuntime,
     shards: &[ShardUnit],
     assignment: &[Vec<usize>],
-    out: &AtomicMat,
+    out: &MttkrpOut,
     rank: usize,
     rows_out: usize,
 ) -> Mat {

@@ -30,9 +30,10 @@ use amped_partition::{isp_ranges, ShardStats};
 use amped_plan::{
     AssignmentSpace, ModeAssignment, NnzCcp, Partitioner, PlatformCostQuery, WorkloadProfile,
 };
+use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::{Device, DeviceRuntime, SimRuntime};
 use amped_sim::costmodel::{BlockStats, CostModel};
-use amped_sim::{AtomicMat, MemPool, PlatformSpec, SimError, TimeBreakdown};
+use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
 use amped_stream::{ChunkReader, StreamPlan, TnsbMeta};
 use amped_tensor::Idx;
 use std::path::Path;
@@ -256,7 +257,7 @@ impl OocEngine {
         let elem_bytes = self.reader.meta().elem_bytes();
         let rows_out = self.reader.meta().shape[d] as usize;
         let num_chunks = self.reader.meta().num_chunks();
-        let out = AtomicMat::zeros(rows_out, rank);
+        let out = MttkrpOut::zeros(rows_out, rank);
 
         // Split borrows: the runtime and the chunk reader both take ops
         // (&mut) while the plan feeds routing (&).
@@ -313,41 +314,21 @@ impl OocEngine {
 
         // --- Real execution: stream every chunk once through the staging
         // budget and run the elementwise computation (Algorithm 2) as a grid
-        // of ISP blocks. Output rows are owned by exactly one GPU, so the
-        // atomic updates mirror the intra-GPU-only conflicts of the paper.
+        // of ISP blocks through the kernel layer (privatized tiles when the
+        // chunk spans several ISPs, direct accumulation otherwise).
         // The whole chunk executes as one zero-cost grid on device 0: a
         // host-side stand-in for functional output only — per-device
         // placement and timing are carried by the scatter/compute arrays
         // above, so a timeline of this engine shows compute placement in
         // the scatter ops, not these launches.
+        let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
         for k in 0..num_chunks {
             let chunk = reader.load_chunk(k).map_err(|e| e.into_sim())?;
             let isps = isp_ranges(0..chunk.nnz(), cfg.isp_nnz);
-            runtime.launch_grid(
-                0,
-                isps.len(),
-                &|b| {
-                    let mut prod = vec![0.0f32; rank];
-                    for e in isps[b].clone() {
-                        let coords = chunk.coords(e);
-                        prod.fill(chunk.value(e));
-                        for (w, f) in factors.iter().enumerate() {
-                            if w == d {
-                                continue;
-                            }
-                            let row = f.row(coords[w] as usize);
-                            for (p, &x) in prod.iter_mut().zip(row) {
-                                *p *= x;
-                            }
-                        }
-                        let i = coords[d] as usize;
-                        for (c, &p) in prod.iter().enumerate() {
-                            out.add(i, c, p);
-                        }
-                    }
-                },
-                &|_| 0.0, // simulated time comes from the slice model above
-            );
+            let src = FnSource::new(|e, m| chunk.coords(e)[m], |e| chunk.value(e));
+            // Zero costs: simulated time comes from the slice model above.
+            let costs = vec![0.0f64; isps.len()];
+            launch_mttkrp(runtime, 0, &src, d, &fviews, &isps, &costs, &out);
             reader.release(chunk);
         }
 

@@ -1,7 +1,8 @@
 //! Reference MTTKRP implementations — the correctness oracles.
 
 use amped_linalg::Mat;
-use amped_sim::AtomicMat;
+use amped_runtime::kernels::{even_blocks, mttkrp_host, FactorsView, FnSource, MttkrpOut};
+use amped_runtime::smexec::host_workers;
 use amped_tensor::SparseTensor;
 
 /// Sequential COO MTTKRP with `f64` accumulation:
@@ -34,43 +35,21 @@ pub fn mttkrp_ref(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
     Mat::from_vec(rows, r, acc.into_iter().map(|v| v as f32).collect())
 }
 
-/// Multithreaded COO MTTKRP over element chunks with atomic `f32`
-/// accumulation — a fast oracle for larger tensors. Results match
-/// [`mttkrp_ref`] up to `f32` accumulation-order differences.
-pub fn mttkrp_par(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+/// Multithreaded COO MTTKRP through the kernel layer's privatized path —
+/// one element block per host worker, per-block `f64` tiles merged in block
+/// order — a fast oracle for larger tensors. Deterministic for a fixed
+/// worker-count decomposition and matches [`mttkrp_ref`] to `f64`
+/// reassociation error (block-boundary splits of the accumulation chains).
+pub fn mttkrp_privatized(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
     assert_eq!(factors.len(), t.order(), "one factor matrix per mode");
     let r = factors[mode].cols();
     let rows = t.dim(mode) as usize;
-    let out = AtomicMat::zeros(rows, r);
-    let workers = amped_runtime::smexec::host_workers();
-    let chunk = t.nnz().div_ceil(workers).max(1);
-    crossbeam::thread::scope(|s| {
-        for w in 0..workers {
-            let lo = (w * chunk).min(t.nnz());
-            let hi = ((w + 1) * chunk).min(t.nnz());
-            let out = &out;
-            s.spawn(move |_| {
-                let mut prod = vec![0.0f32; r];
-                for e in lo..hi {
-                    prod.fill(t.value(e));
-                    for (wm, f) in factors.iter().enumerate() {
-                        if wm == mode {
-                            continue;
-                        }
-                        let row = f.row(t.idx(e, wm) as usize);
-                        for (p, &x) in prod.iter_mut().zip(row) {
-                            *p *= x;
-                        }
-                    }
-                    let i = t.idx(e, mode) as usize;
-                    for (c, &p) in prod.iter().enumerate() {
-                        out.add(i, c, p);
-                    }
-                }
-            });
-        }
-    })
-    .expect("reference worker panicked");
+    let out = MttkrpOut::zeros(rows, r);
+    let workers = host_workers();
+    let blocks = even_blocks(t.nnz(), workers);
+    let src = FnSource::new(|e, m| t.idx(e, m), |e| t.value(e));
+    let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), r);
+    mttkrp_host(&src, mode, &views, &blocks, workers, &out);
     Mat::from_vec(rows, r, out.to_vec())
 }
 
@@ -128,7 +107,7 @@ mod tests {
         let (t, fs) = setup(vec![40, 30, 20], 3000, 8);
         for d in 0..3 {
             let a = mttkrp_ref(&t, &fs, d);
-            let b = mttkrp_par(&t, &fs, d);
+            let b = mttkrp_privatized(&t, &fs, d);
             assert!(
                 a.approx_eq(&b, 1e-3, 1e-4),
                 "mode {d}: max diff {}",
@@ -142,7 +121,7 @@ mod tests {
         let (t, fs) = setup(vec![10, 12, 8, 9, 11], 1500, 4);
         for d in 0..5 {
             let a = mttkrp_ref(&t, &fs, d);
-            let b = mttkrp_par(&t, &fs, d);
+            let b = mttkrp_privatized(&t, &fs, d);
             assert!(a.approx_eq(&b, 1e-3, 1e-4), "mode {d}");
         }
     }

@@ -1,0 +1,547 @@
+//! The kernel layer: rank-blocked MTTKRP with privatized accumulation.
+//!
+//! Every execution path in the workspace — the AMPED engine, the OOC engine,
+//! the baseline systems, and the host reference kernels — funnels its
+//! elementwise computation (paper §3.0.1) through this module instead of
+//! hand-rolling per-element atomic updates. Two execution strategies sit
+//! behind one entry point:
+//!
+//! * **Direct** (single-block grids): the block's nonzeros accumulate
+//!   straight into the shared output in element order with plain `f32`
+//!   adds. One block means one writer, so no atomics are needed and the
+//!   value sequence reproduces the historical CAS-loop execution bit for
+//!   bit — this is what keeps `tests/runtime_equivalence.rs` golden.
+//! * **Privatized** (multi-block grids): each block accumulates into its own
+//!   `f64` tile spanning only the output rows it touches (Nisa et al.'s
+//!   load-balanced formulation), and tiles merge into the shared output **in
+//!   block-index order** after the grid joins. No write sharing during
+//!   execution, no contended atomics, and the result is independent of the
+//!   host worker count because the merge order is fixed.
+//!
+//! The inner loop is *rank-blocked* the way Tensor Toolbox chunks sptensor
+//! `mttkrp` (`nzchunk` × `rchunk`): the factor-column loop is tiled by
+//! [`RANK_CHUNK`] so the per-element Hadamard partial stays in registers and
+//! the factor-row working set per pass shrinks at large rank. Rank blocking
+//! never reorders the per-cell accumulation over elements, so it is
+//! bit-transparent on the direct path.
+
+use crate::runtime::DeviceRuntime;
+use crate::smexec::{execute_blocks, GridTiming};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// Factor-column tile width (Tensor Toolbox's `rchunk`): the Hadamard
+/// partial for one element is computed [`RANK_CHUNK`] columns at a time.
+pub const RANK_CHUNK: usize = 32;
+
+/// A source of sparse-tensor nonzeros for the kernel: anything that can map
+/// an element index to its per-mode coordinates and value. Blocks address
+/// elements by index range, so formats with materialized element vectors
+/// (BLCO, HiCOO superblocks) and in-place COO tensors adapt equally.
+pub trait EcSource: Sync {
+    /// Coordinate of element `e` along mode `m`.
+    fn coord(&self, e: usize, m: usize) -> u32;
+    /// Value of element `e`.
+    fn value(&self, e: usize) -> f32;
+}
+
+/// Adapts a pair of closures into an [`EcSource`] — the universal bridge
+/// that keeps this crate free of tensor-format dependencies.
+pub struct FnSource<C, V> {
+    coord: C,
+    value: V,
+}
+
+impl<C, V> FnSource<C, V>
+where
+    C: Fn(usize, usize) -> u32 + Sync,
+    V: Fn(usize) -> f32 + Sync,
+{
+    /// Wraps `coord(e, m)` and `value(e)` accessors.
+    pub fn new(coord: C, value: V) -> Self {
+        Self { coord, value }
+    }
+}
+
+impl<C, V> EcSource for FnSource<C, V>
+where
+    C: Fn(usize, usize) -> u32 + Sync,
+    V: Fn(usize) -> f32 + Sync,
+{
+    #[inline]
+    fn coord(&self, e: usize, m: usize) -> u32 {
+        (self.coord)(e, m)
+    }
+    #[inline]
+    fn value(&self, e: usize) -> f32 {
+        (self.value)(e)
+    }
+}
+
+/// Borrowed views of all factor matrices (row-major, equal rank): the kernel
+/// reads input-mode rows through this without depending on any matrix crate.
+pub struct FactorsView<'a> {
+    mats: Vec<&'a [f32]>,
+    rank: usize,
+}
+
+impl<'a> FactorsView<'a> {
+    /// Wraps row-major factor slices of column count `rank`.
+    pub fn new(mats: Vec<&'a [f32]>, rank: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        debug_assert!(mats.iter().all(|m| m.len() % rank == 0));
+        Self { mats, rank }
+    }
+
+    /// Number of factor matrices (the tensor order).
+    pub fn order(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Factor rank (columns of every matrix).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Row `i` of factor `m`.
+    #[inline]
+    fn row(&self, m: usize, i: usize) -> &'a [f32] {
+        &self.mats[m][i * self.rank..(i + 1) * self.rank]
+    }
+}
+
+/// The shared MTTKRP output buffer: a dense row-major `f32` matrix whose
+/// cells are `AtomicU32` bit patterns so joined grids and the merge phase
+/// can write through a shared reference without `unsafe`. Writes are
+/// single-writer by construction (one direct block, or the sequential tile
+/// merge), so plain load/add/store suffices — no compare-exchange loops.
+#[derive(Debug)]
+pub struct MttkrpOut {
+    rows: usize,
+    rank: usize,
+    cells: Vec<AtomicU32>,
+}
+
+impl MttkrpOut {
+    /// An all-zero output of `rows` × `rank`.
+    pub fn zeros(rows: usize, rank: usize) -> Self {
+        let mut cells = Vec::with_capacity(rows * rank);
+        cells.resize_with(rows * rank, || AtomicU32::new(0f32.to_bits()));
+        Self { rows, rank, cells }
+    }
+
+    /// Number of output rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Factor rank (columns).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Reads entry `(r, c)` (valid once all writers are joined).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        f32::from_bits(self.cells[r * self.rank + c].load(Ordering::Relaxed))
+    }
+
+    /// Snapshot into a plain row-major vector.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.cells
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Single-writer `f32` add at flat index `idx` — the legacy accumulation
+    /// order of the direct path.
+    #[inline]
+    fn add_f32(&self, idx: usize, v: f32) {
+        let cell = &self.cells[idx];
+        let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + v).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Single-writer merge of an `f64` tile value at flat index `idx`: the
+    /// running cell is widened, added, and rounded once.
+    #[inline]
+    fn merge_f64(&self, idx: usize, v: f64) {
+        let cell = &self.cells[idx];
+        let cur = f32::from_bits(cell.load(Ordering::Relaxed)) as f64;
+        cell.store(((cur + v) as f32).to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// One block's private accumulation tile: `f64` partials over the contiguous
+/// output-row span `[lo, lo + acc.len() / rank)` the block actually touches.
+struct BlockTile {
+    lo: usize,
+    rank: usize,
+    acc: Vec<f64>,
+}
+
+/// Direct-path execution of one block: `f32` products and per-element `f32`
+/// accumulation into `out`, in element order — bit-identical to the
+/// pre-kernel-layer CAS sequence when this is the grid's only block.
+fn ec_direct<S: EcSource + ?Sized>(
+    src: &S,
+    d: usize,
+    factors: &FactorsView<'_>,
+    range: Range<usize>,
+    out: &MttkrpOut,
+) {
+    let rank = factors.rank();
+    let mut prod = [0.0f32; RANK_CHUNK];
+    for c0 in (0..rank).step_by(RANK_CHUNK) {
+        let cw = RANK_CHUNK.min(rank - c0);
+        for e in range.clone() {
+            let prod = &mut prod[..cw];
+            prod.fill(src.value(e));
+            for m in 0..factors.order() {
+                if m == d {
+                    continue;
+                }
+                let row = &factors.row(m, src.coord(e, m) as usize)[c0..c0 + cw];
+                for (p, &x) in prod.iter_mut().zip(row) {
+                    *p *= x;
+                }
+            }
+            let base = src.coord(e, d) as usize * rank + c0;
+            for (c, &p) in prod.iter().enumerate() {
+                out.add_f32(base + c, p);
+            }
+        }
+    }
+}
+
+/// Privatized-path execution of one block: scans the block's output-row
+/// span, then accumulates `f64` products into a private tile in element
+/// order. Returns `None` for empty blocks.
+fn block_tile<S: EcSource + ?Sized>(
+    src: &S,
+    d: usize,
+    factors: &FactorsView<'_>,
+    range: Range<usize>,
+) -> Option<BlockTile> {
+    if range.is_empty() {
+        return None;
+    }
+    let (mut lo, mut hi) = (u32::MAX, 0u32);
+    for e in range.clone() {
+        let i = src.coord(e, d);
+        lo = lo.min(i);
+        hi = hi.max(i);
+    }
+    let rank = factors.rank();
+    let span = (hi - lo + 1) as usize;
+    let mut acc = vec![0.0f64; span * rank];
+    let mut prod = [0.0f64; RANK_CHUNK];
+    for c0 in (0..rank).step_by(RANK_CHUNK) {
+        let cw = RANK_CHUNK.min(rank - c0);
+        for e in range.clone() {
+            let prod = &mut prod[..cw];
+            prod.fill(src.value(e) as f64);
+            for m in 0..factors.order() {
+                if m == d {
+                    continue;
+                }
+                let row = &factors.row(m, src.coord(e, m) as usize)[c0..c0 + cw];
+                for (p, &x) in prod.iter_mut().zip(row) {
+                    *p *= x as f64;
+                }
+            }
+            let base = (src.coord(e, d) - lo) as usize * rank + c0;
+            let dst = &mut acc[base..base + cw];
+            for (a, &p) in dst.iter_mut().zip(prod.iter()) {
+                *a += p;
+            }
+        }
+    }
+    Some(BlockTile {
+        lo: lo as usize,
+        rank,
+        acc,
+    })
+}
+
+/// Merges all tiles into the shared output: per-cell `f64` totals are
+/// accumulated across tiles in block-index order, then each touched cell is
+/// rounded into `out` exactly once. Untouched cells (exact-zero totals) are
+/// skipped so rows outside the grid's footprint keep their bits. The single
+/// rounding per cell per launch is what bounds the divergence from the
+/// sequential `f64` reference to one `f32` ulp.
+fn merge_tiles(out: &MttkrpOut, tiles: &[&BlockTile]) {
+    let Some(lo) = tiles.iter().map(|t| t.lo).min() else {
+        return;
+    };
+    let hi = tiles
+        .iter()
+        .map(|t| t.lo + t.acc.len() / t.rank)
+        .max()
+        .expect("tiles is non-empty");
+    let rank = tiles[0].rank;
+    let mut stage = vec![0.0f64; (hi - lo) * rank];
+    for t in tiles {
+        let base = (t.lo - lo) * rank;
+        for (j, &v) in t.acc.iter().enumerate() {
+            stage[base + j] += v;
+        }
+    }
+    for (j, &v) in stage.iter().enumerate() {
+        if v != 0.0 {
+            out.merge_f64(lo * rank + j, v);
+        }
+    }
+}
+
+/// Runs the block jobs of one MTTKRP grid through `execute` (which must call
+/// the given kernel closure once per block index, possibly concurrently),
+/// then merges privatized tiles deterministically. Factored out so the
+/// runtime-launched and host-only entry points share one dispatch.
+fn dispatch<S, E>(
+    src: &S,
+    d: usize,
+    factors: &FactorsView<'_>,
+    blocks: &[Range<usize>],
+    out: &MttkrpOut,
+    execute: E,
+) -> GridTiming
+where
+    S: EcSource + ?Sized,
+    E: FnOnce(&(dyn Fn(usize) + Sync)) -> GridTiming,
+{
+    if blocks.len() <= 1 {
+        execute(&|_b: usize| {
+            if let Some(r) = blocks.first() {
+                ec_direct(src, d, factors, r.clone(), out);
+            }
+        })
+    } else {
+        let tiles: Vec<OnceLock<BlockTile>> = (0..blocks.len()).map(|_| OnceLock::new()).collect();
+        let timing = execute(&|b: usize| {
+            if let Some(t) = block_tile(src, d, factors, blocks[b].clone()) {
+                let _ = tiles[b].set(t);
+            }
+        });
+        // Deterministic merge: block-index order, independent of which
+        // worker computed which tile and of the worker count.
+        let touched: Vec<&BlockTile> = tiles.iter().filter_map(|slot| slot.get()).collect();
+        merge_tiles(out, &touched);
+        timing
+    }
+}
+
+/// Launches one MTTKRP grid for output mode `d` through a [`DeviceRuntime`]:
+/// `blocks[b]` is the element range of threadblock `b`, `costs[b]` its
+/// simulated cost. Single-block grids take the direct path (legacy `f32`
+/// element order); multi-block grids take the privatized path. The returned
+/// timing is whatever the runtime reports for the grid (pure model on
+/// [`crate::SimRuntime`], measured wall on [`crate::CpuParallelRuntime`]).
+// A launch mirrors a driver call: target + kernel inputs + grid shape +
+// output is inherently this wide, and a params struct would just rename
+// the positions.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_mttkrp<S: EcSource + ?Sized>(
+    rt: &mut dyn DeviceRuntime,
+    gpu: usize,
+    src: &S,
+    d: usize,
+    factors: &FactorsView<'_>,
+    blocks: &[Range<usize>],
+    costs: &[f64],
+    out: &MttkrpOut,
+) -> GridTiming {
+    assert_eq!(blocks.len(), costs.len(), "one cost per block");
+    dispatch(src, d, factors, blocks, out, |kernel| {
+        rt.launch_grid(gpu, kernel, costs)
+    })
+}
+
+/// Host-only MTTKRP over explicit blocks on up to `workers` threads — the
+/// same dispatch as [`launch_mttkrp`] without a runtime (no simulated
+/// timing). Used by the host reference kernels and the kernel proptests.
+pub fn mttkrp_host<S: EcSource + ?Sized>(
+    src: &S,
+    d: usize,
+    factors: &FactorsView<'_>,
+    blocks: &[Range<usize>],
+    workers: usize,
+    out: &MttkrpOut,
+) {
+    dispatch(src, d, factors, blocks, out, |kernel| {
+        execute_blocks(workers, blocks.len(), kernel);
+        GridTiming {
+            makespan: 0.0,
+            busy_sum: 0.0,
+            blocks: blocks.len(),
+        }
+    });
+}
+
+/// Splits `0..n` into `parts` near-equal contiguous element ranges (at most
+/// `parts`, fewer when `n < parts`) — the standard block decomposition for
+/// host-parallel kernels.
+pub fn even_blocks(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let chunk = n.div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_runtime::SimRuntime;
+    use amped_sim::PlatformSpec;
+
+    /// A tiny fixed COO tensor: coords flattened per element, one value each.
+    struct Coo {
+        coords: Vec<[u32; 3]>,
+        vals: Vec<f32>,
+    }
+
+    impl EcSource for Coo {
+        fn coord(&self, e: usize, m: usize) -> u32 {
+            self.coords[e][m]
+        }
+        fn value(&self, e: usize) -> f32 {
+            self.vals[e]
+        }
+    }
+
+    fn tiny() -> (Coo, Vec<Vec<f32>>, usize) {
+        // 3×2×2 tensor, rank 2.
+        let src = Coo {
+            coords: vec![[0, 0, 0], [0, 1, 1], [1, 0, 1], [2, 1, 0], [2, 1, 1]],
+            vals: vec![1.0, 2.0, 0.5, -1.0, 3.0],
+        };
+        let f0 = vec![0.0; 6];
+        let f1 = vec![1.0, 2.0, 3.0, 4.0];
+        let f2 = vec![0.5, 1.0, 2.0, 0.25];
+        (src, vec![f0, f1, f2], 2)
+    }
+
+    fn dense_ref(src: &Coo, factors: &[Vec<f32>], rank: usize, d: usize, rows: usize) -> Vec<f64> {
+        let mut acc = vec![0.0f64; rows * rank];
+        for e in 0..src.vals.len() {
+            for c in 0..rank {
+                let mut p = src.vals[e] as f64;
+                for (m, f) in factors.iter().enumerate() {
+                    if m == d {
+                        continue;
+                    }
+                    p *= f[src.coord(e, m) as usize * rank + c] as f64;
+                }
+                acc[src.coord(e, d) as usize * rank + c] += p;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn direct_and_privatized_match_dense_reference() {
+        let (src, factors, rank) = tiny();
+        let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
+        let want = dense_ref(&src, &factors, rank, 0, 3);
+        for blocks in [even_blocks(5, 1), vec![0..2, 2..4, 4..5]] {
+            let out = MttkrpOut::zeros(3, rank);
+            mttkrp_host(&src, 0, &views, &blocks, 4, &out);
+            for (j, &w) in want.iter().enumerate() {
+                let got = out.to_vec()[j] as f64;
+                assert!(
+                    (got - w).abs() <= 1e-6 * w.abs().max(1.0),
+                    "cell {j}: got {got}, want {w} (blocks {blocks:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn privatized_result_is_independent_of_worker_count() {
+        let (src, factors, rank) = tiny();
+        let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
+        let blocks = vec![0..2, 2..3, 3..5];
+        let mut bits = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let out = MttkrpOut::zeros(3, rank);
+            mttkrp_host(&src, 0, &views, &blocks, workers, &out);
+            bits.push(out.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        }
+        assert_eq!(bits[0], bits[1]);
+        assert_eq!(bits[1], bits[2]);
+    }
+
+    #[test]
+    fn launch_reports_runtime_timing_and_accumulates_across_grids() {
+        let (src, factors, rank) = tiny();
+        let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
+        let mut rt = SimRuntime::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
+        let out = MttkrpOut::zeros(3, rank);
+        // Two sequential grids over disjoint element ranges accumulate into
+        // one shared output (the OOC chunk pattern).
+        let single = even_blocks(3, 1);
+        let t1 = launch_mttkrp(&mut rt, 0, &src, 0, &views, &single, &[0.5], &out);
+        let t2 = launch_mttkrp(
+            &mut rt,
+            0,
+            &src,
+            0,
+            &views,
+            &[3..4, 4..5],
+            &[0.5, 0.5],
+            &out,
+        );
+        assert_eq!(t1.blocks, 1);
+        assert_eq!(t2.blocks, 2);
+        assert_eq!(t2.makespan, 0.5);
+        let want = dense_ref(&src, &factors, rank, 0, 3);
+        for (j, &w) in want.iter().enumerate() {
+            let got = out.to_vec()[j] as f64;
+            assert!((got - w).abs() <= 1e-6 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rank_chunking_covers_ranks_beyond_one_tile() {
+        // rank > RANK_CHUNK exercises the column-tile loop.
+        let rank = RANK_CHUNK + 3;
+        let src = Coo {
+            coords: vec![[0, 0, 0], [1, 1, 1], [0, 1, 0]],
+            vals: vec![1.5, -2.0, 0.25],
+        };
+        let factors: Vec<Vec<f32>> = (0..3)
+            .map(|m| {
+                (0..2 * rank)
+                    .map(|j| ((j + m) % 5) as f32 * 0.5 + 0.1)
+                    .collect()
+            })
+            .collect();
+        let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
+        let want = dense_ref(&src, &factors, rank, 1, 2);
+        for blocks in [even_blocks(3, 1), vec![0..1, 1..3]] {
+            let out = MttkrpOut::zeros(2, rank);
+            mttkrp_host(&src, 1, &views, &blocks, 2, &out);
+            for (j, &w) in want.iter().enumerate() {
+                let got = out.to_vec()[j] as f64;
+                assert!((got - w).abs() <= 1e-5 * w.abs().max(1.0), "cell {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_blocks_cover_everything() {
+        assert_eq!(even_blocks(10, 3), vec![0..4, 4..8, 8..10]);
+        assert_eq!(even_blocks(2, 8), vec![0..1, 1..2]);
+        assert_eq!(even_blocks(0, 4), Vec::<Range<usize>>::new());
+        let blocks = even_blocks(1000, 7);
+        assert_eq!(blocks.iter().map(|r| r.len()).sum::<usize>(), 1000);
+    }
+}

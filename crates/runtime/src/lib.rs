@@ -23,9 +23,17 @@
 //!   `amped-sim` cost model, preserving the pre-extraction behavior bit
 //!   for bit (proved by `tests/runtime_equivalence.rs` at the workspace
 //!   root).
+//! * [`CpuParallelRuntime`] — the measured backend: launches really run on
+//!   host cores and report wall time, while planning queries, transfers,
+//!   and collectives keep the simulated model — the honest
+//!   `GridTiming`-vs-wall calibration seam.
 //! * [`TracingRuntime`] — a decorator over any backend that records an
 //!   op-level timeline (op kind, device, bytes, simulated start/end); see
 //!   `examples/timeline.rs`.
+//! * [`kernels`] — the kernel layer: rank-blocked MTTKRP with privatized
+//!   per-block accumulation and a deterministic merge. Engines and
+//!   baselines launch through [`kernels::launch_mttkrp`] instead of writing
+//!   per-element atomic updates.
 //! * [`smexec`] / [`collective`] — the execution primitives themselves
 //!   (grid executor, flat and hierarchical ring all-gathers), moved here
 //!   from `amped-sim` so that no caller outside this crate reaches them
@@ -43,14 +51,18 @@
 #![warn(missing_docs)]
 
 pub mod collective;
+pub mod cpu_runtime;
 pub mod device;
+pub mod kernels;
 pub mod sim_runtime;
 pub mod smexec;
 pub mod tracing;
 
 mod runtime;
 
+pub use cpu_runtime::CpuParallelRuntime;
 pub use device::{Device, Platform};
+pub use kernels::{launch_mttkrp, EcSource, FactorsView, FnSource, MttkrpOut};
 pub use runtime::{Collective, DeviceRuntime, FactorBlock};
 pub use sim_runtime::SimRuntime;
 pub use smexec::GridTiming;

@@ -128,16 +128,21 @@ pub trait DeviceRuntime: std::fmt::Debug {
     // --- Execution ops -----------------------------------------------------
 
     /// Launches a kernel grid on GPU `gpu`: executes `kernel(block)` for
-    /// every block **for real** (concurrently for distinct blocks — shared
-    /// output must be `Sync`, e.g. [`amped_sim::AtomicMat`]) and returns the
-    /// simulated [`GridTiming`] of list-scheduling `block_cost(block)` onto
-    /// the GPU's SMs.
+    /// every block in `0..costs.len()` **for real** (concurrently for
+    /// distinct blocks — shared state must be `Sync`) and returns the grid's
+    /// [`GridTiming`]. Simulated backends compute it by list-scheduling the
+    /// `costs` sequence onto the GPU's SMs — a pure model, bit-identical for
+    /// identical costs regardless of host threading; measured backends
+    /// ([`crate::CpuParallelRuntime`]) report real wall time instead.
+    ///
+    /// Engines do not write kernels against this directly — the MTTKRP entry
+    /// points in [`crate::kernels`] build the closures and handle output
+    /// privatization.
     fn launch_grid(
         &mut self,
         gpu: usize,
-        blocks: usize,
         kernel: &(dyn Fn(usize) + Sync),
-        block_cost: &dyn Fn(usize) -> f64,
+        costs: &[f64],
     ) -> GridTiming;
 
     // --- Transfer ops ------------------------------------------------------

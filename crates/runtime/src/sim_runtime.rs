@@ -76,11 +76,10 @@ impl DeviceRuntime for SimRuntime {
     fn launch_grid(
         &mut self,
         gpu: usize,
-        blocks: usize,
         kernel: &(dyn Fn(usize) + Sync),
-        block_cost: &dyn Fn(usize) -> f64,
+        costs: &[f64],
     ) -> GridTiming {
-        run_grid(self.spec().gpus[gpu].sms, blocks, kernel, block_cost)
+        run_grid(self.spec().gpus[gpu].sms, kernel, costs)
     }
 
     fn h2d_link_for(&self, gpu: usize, active: usize) -> LinkSpec {
@@ -158,7 +157,7 @@ mod tests {
         let mut r = rt(1);
         let sms = r.spec().gpus[0].sms;
         let hits = AtomicMat::zeros(1, 64);
-        let t = r.launch_grid(0, 64, &|b| hits.add(0, b, 1.0), &|_| 0.5);
+        let t = r.launch_grid(0, &|b| hits.add(0, b, 1.0), &[0.5; 64]);
         assert_eq!(hits.to_vec(), vec![1.0; 64]);
         assert_eq!(t.blocks, 64);
         // 64 equal blocks on `sms` SMs: ⌈64/sms⌉ rounds of 0.5.
@@ -170,7 +169,7 @@ mod tests {
         let mut r = rt(2);
         let costs: Vec<f64> = (0..100).map(|b| (b % 7) as f64 * 0.1).collect();
         let planned = r.makespan(1, &costs);
-        let launched = r.launch_grid(1, costs.len(), &|_| {}, &|b| costs[b]);
+        let launched = r.launch_grid(1, &|_| {}, &costs);
         assert_eq!(planned, launched);
     }
 

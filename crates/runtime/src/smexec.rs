@@ -86,46 +86,67 @@ pub fn list_schedule_makespan(sms: usize, costs: impl IntoIterator<Item = f64>) 
 
 /// Maximum number of host threads used to *execute* grids. Simulated time is
 /// independent of this; it only bounds real CPU usage.
+///
+/// Defaults to `min(available_parallelism, 8)`. The `AMPED_THREADS`
+/// environment variable overrides it (clamped to ≥ 1), so benches and CI
+/// runs are reproducible on any core count: `AMPED_THREADS=8 cargo bench`.
 pub fn host_workers() -> usize {
+    if let Ok(v) = std::env::var("AMPED_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
 }
 
-/// Executes a grid: runs `kernel(block_index)` for every block on the host
-/// worker pool and returns the simulated [`GridTiming`] computed from
-/// `block_cost(block_index)`.
+/// Pure functional execution: runs `kernel(block_index)` for every block in
+/// `0..num_blocks` on up to `workers` crossbeam scoped threads (blocks are
+/// claimed with an atomic counter, like hardware block scheduling). No
+/// timing is computed here — this is the execution half of [`run_grid`].
 ///
 /// `kernel` must be safe to call concurrently for distinct block indices —
-/// shared output must go through [`amped_sim::AtomicMat`] or other `Sync`
-/// state, exactly mirroring the atomics requirement of Algorithm 2.
-pub fn run_grid<K, C>(sms: usize, num_blocks: usize, kernel: K, block_cost: C) -> GridTiming
+/// shared state must be `Sync`. A panic in any block propagates to the
+/// caller once all workers have stopped.
+pub fn execute_blocks<K>(workers: usize, num_blocks: usize, kernel: K)
 where
     K: Fn(usize) + Sync,
-    C: Fn(usize) -> f64,
 {
-    let workers = host_workers().min(num_blocks.max(1));
+    let workers = workers.clamp(1, num_blocks.max(1));
     if workers <= 1 {
         for b in 0..num_blocks {
             kernel(b);
         }
-    } else {
-        let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_blocks {
-                        break;
-                    }
-                    kernel(b);
-                });
-            }
-        })
-        .expect("grid worker panicked");
+        return;
     }
-    list_schedule_makespan(sms, (0..num_blocks).map(block_cost))
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= num_blocks {
+                    break;
+                }
+                kernel(b);
+            });
+        }
+    })
+    .expect("grid worker panicked");
+}
+
+/// Executes a grid: runs `kernel(block_index)` for every block of the grid
+/// (one block per entry of `costs`) on the host worker pool via
+/// [`execute_blocks`], and returns the simulated [`GridTiming`] of
+/// list-scheduling `costs` in order — a pure model of the block cost
+/// sequence, independent of how host execution interleaved.
+pub fn run_grid<K>(sms: usize, kernel: K, costs: &[f64]) -> GridTiming
+where
+    K: Fn(usize) + Sync,
+{
+    execute_blocks(host_workers(), costs.len(), kernel);
+    list_schedule_makespan(sms, costs.iter().copied())
 }
 
 #[cfg(test)]
@@ -174,7 +195,7 @@ mod tests {
     #[test]
     fn run_grid_executes_every_block_exactly_once() {
         let hits = AtomicMat::zeros(1, 64);
-        let timing = run_grid(4, 64, |b| hits.add(0, b, 1.0), |_| 0.5);
+        let timing = run_grid(4, |b| hits.add(0, b, 1.0), &[0.5; 64]);
         assert_eq!(hits.to_vec(), vec![1.0; 64]);
         // 64 blocks × 0.5 on 4 SMs = 8.0 simulated seconds.
         assert_eq!(timing.makespan, 8.0);
@@ -183,9 +204,44 @@ mod tests {
 
     #[test]
     fn simulated_time_is_independent_of_host_threads() {
-        // Same costs → same timing regardless of how execution interleaves.
-        let a = run_grid(3, 100, |_| {}, |b| (b % 7) as f64 * 0.1);
-        let b = run_grid(3, 100, |_| {}, |b| (b % 7) as f64 * 0.1);
+        // Same costs → same timing regardless of how execution interleaves
+        // (and regardless of the worker count executing the blocks).
+        let costs: Vec<f64> = (0..100).map(|b| (b % 7) as f64 * 0.1).collect();
+        let a = run_grid(3, |_| {}, &costs);
+        let b = run_grid(3, |_| {}, &costs);
         assert_eq!(a, b);
+        assert_eq!(a, list_schedule_makespan(3, costs.iter().copied()));
+    }
+
+    #[test]
+    fn execute_blocks_runs_each_block_once_at_any_worker_count() {
+        for workers in [1usize, 3, 200] {
+            let hits = AtomicMat::zeros(1, 37);
+            execute_blocks(workers, 37, |b| hits.add(0, b, 1.0));
+            assert_eq!(hits.to_vec(), vec![1.0; 37]);
+        }
+    }
+
+    #[test]
+    fn panic_in_a_block_propagates_to_the_caller() {
+        // The crossbeam scoped pool must surface worker panics, not swallow
+        // them: a poisoned kernel means the grid's output is garbage.
+        let r = std::panic::catch_unwind(|| {
+            execute_blocks(4, 16, |b| {
+                if b == 11 {
+                    panic!("block 11 exploded");
+                }
+            });
+        });
+        assert!(r.is_err(), "worker panic must propagate");
+        // The sequential path propagates too.
+        let r = std::panic::catch_unwind(|| {
+            execute_blocks(1, 2, |b| {
+                if b == 1 {
+                    panic!("sequential block exploded");
+                }
+            });
+        });
+        assert!(r.is_err());
     }
 }

@@ -302,15 +302,14 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
     fn launch_grid(
         &mut self,
         gpu: usize,
-        blocks: usize,
         kernel: &(dyn Fn(usize) + Sync),
-        block_cost: &dyn Fn(usize) -> f64,
+        costs: &[f64],
     ) -> GridTiming {
-        let timing = self.inner.launch_grid(gpu, blocks, kernel, block_cost);
+        let timing = self.inner.launch_grid(gpu, kernel, costs);
         self.record(
             OpKind::LaunchGrid,
             Device::Gpu(gpu),
-            blocks as u64,
+            costs.len() as u64,
             timing.makespan,
             format!("{} blocks", timing.blocks),
         );
@@ -391,7 +390,7 @@ mod tests {
         let t1 = rt.h2d_time(0, 1, 1_000_000);
         let t2 = rt.h2d_time(0, 1, 1_000_000);
         assert_eq!(t1, t2);
-        rt.launch_grid(1, 4, &|_| {}, &|_| 0.25);
+        rt.launch_grid(1, &|_| {}, &[0.25; 4]);
         let recs = tl.snapshot();
         assert_eq!(recs.len(), 4);
         assert_eq!(recs[0].kind, OpKind::Alloc);
@@ -409,9 +408,9 @@ mod tests {
     #[test]
     fn gpu_busy_sums_per_device_durations() {
         let (mut rt, tl) = traced(3);
-        rt.launch_grid(0, 2, &|_| {}, &|_| 0.5); // 2 blocks ≤ SMs: one round
-        rt.launch_grid(0, 2, &|_| {}, &|_| 0.5);
-        rt.launch_grid(2, 4, &|_| {}, &|_| 0.25);
+        rt.launch_grid(0, &|_| {}, &[0.5; 2]); // 2 blocks ≤ SMs: one round
+        rt.launch_grid(0, &|_| {}, &[0.5; 2]);
+        rt.launch_grid(2, &|_| {}, &[0.25; 4]);
         rt.h2d_time(2, 1, 1_000_000); // not a launch: must not count
         let busy = tl.gpu_busy(OpKind::LaunchGrid, 3);
         assert_eq!(busy.len(), 3);

@@ -44,7 +44,7 @@ pub mod prelude {
         PartiSystem, SystemRun,
     };
     pub use amped_core::als::{cp_als, AlsOptions, AlsResult, RebalanceOptions};
-    pub use amped_core::reference::{mttkrp_par, mttkrp_ref};
+    pub use amped_core::reference::{mttkrp_privatized, mttkrp_ref};
     pub use amped_core::{
         AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, MttkrpEngine, OocEngine, SchedulePolicy,
     };
@@ -56,7 +56,8 @@ pub mod prelude {
         RebalancingPlanner, UniformCost, WorkloadProfile,
     };
     pub use amped_runtime::{
-        Collective, Device, DeviceRuntime, FactorBlock, GridTiming, Platform, SimRuntime, Timeline,
+        launch_mttkrp, Collective, CpuParallelRuntime, Device, DeviceRuntime, FactorBlock,
+        FactorsView, FnSource, GridTiming, MttkrpOut, Platform, SimRuntime, Timeline,
         TracingRuntime,
     };
     pub use amped_sim::metrics::{geomean, RunReport};

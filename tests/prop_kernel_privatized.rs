@@ -1,0 +1,107 @@
+//! Property tests: the kernel layer's privatized-merge MTTKRP is
+//! deterministic across worker counts (bit-for-bit) and agrees with the
+//! sequential `f64` reference to at most one `f32` ulp per cell.
+
+use amped::prelude::*;
+use amped::runtime::kernels::{even_blocks, mttkrp_host, FactorsView, FnSource, MttkrpOut};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+fn run_kernel(
+    t: &SparseTensor,
+    fs: &[Mat],
+    mode: usize,
+    blocks: &[Range<usize>],
+    workers: usize,
+) -> Vec<f32> {
+    let r = fs[mode].cols();
+    let out = MttkrpOut::zeros(t.dim(mode) as usize, r);
+    let src = FnSource::new(|e, m| t.idx(e, m), |e| t.value(e));
+    let views = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), r);
+    mttkrp_host(&src, mode, &views, blocks, workers, &out);
+    out.to_vec()
+}
+
+/// `a` and `b` are the same bits, or adjacent finite `f32` values (one ulp
+/// apart — the one rounding boundary the privatized `f64` merge may land on
+/// the other side of after reassociating the sequential reference's sums).
+fn within_one_ulp(a: f32, b: f32) -> bool {
+    if a.to_bits() == b.to_bits() {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() || (a < 0.0) != (b < 0.0) {
+        return false;
+    }
+    // Same sign and finite: the monotone bits trick gives ulp distance.
+    a.to_bits().abs_diff(b.to_bits()) <= 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The merge order is fixed by block index, so any worker count —
+    /// including one worker, and more workers than blocks — produces the
+    /// same output bits as the single-worker run.
+    #[test]
+    fn privatized_merge_is_worker_count_invariant(
+        d0 in 2u32..60,
+        d1 in 2u32..40,
+        d2 in 2u32..40,
+        nnz in 1usize..500,
+        rank in 1usize..20,
+        parts in 1usize..12,
+        workers in 1usize..32,
+        mode in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37);
+        let fs: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let blocks = even_blocks(t.nnz(), parts);
+        let base = run_kernel(&t, &fs, mode, &blocks, 1);
+        let par = run_kernel(&t, &fs, mode, &blocks, workers);
+        for (i, (a, b)) in base.iter().zip(&par).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "cell {} differs: {} (1 worker) vs {} ({} workers)", i, a, b, workers
+            );
+        }
+    }
+
+    /// On the privatized path (more than one block) every output cell is a
+    /// sum of per-block `f64` partials rounded once, so it matches the
+    /// sequential `f64` reference bit-for-bit or lands one `f32` ulp away
+    /// (when `f64` reassociation crosses a rounding boundary).
+    #[test]
+    fn privatized_merge_matches_sequential_reference(
+        d0 in 2u32..60,
+        d1 in 2u32..40,
+        d2 in 2u32..40,
+        nnz in 1usize..500,
+        rank in 1usize..20,
+        parts in 2usize..12,
+        workers in 1usize..32,
+        mode in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let t = GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x51DE);
+        let fs: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let blocks = even_blocks(t.nnz(), parts);
+        // `even_blocks` collapses tiny inputs into fewer ranges; the
+        // privatized path needs at least two.
+        prop_assume!(blocks.len() > 1);
+        let got = run_kernel(&t, &fs, mode, &blocks, workers);
+        let want = mttkrp_ref(&t, &fs, mode);
+        for (i, (g, w)) in got.iter().zip(want.as_slice()).enumerate() {
+            prop_assert!(
+                within_one_ulp(*g, *w),
+                "cell {}: kernel {} vs reference {} (more than one ulp apart)", i, g, w
+            );
+        }
+    }
+}
