@@ -9,30 +9,39 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== 1/9 cargo fmt --check ==="
+echo "=== 1/11 cargo fmt --check ==="
 cargo fmt --check
 
-echo "=== 2/9 cargo build --release ==="
+echo "=== 2/11 cargo build --release ==="
 cargo build --release
 
-echo "=== 3/9 cargo test -q ==="
+echo "=== 3/11 cargo test -q ==="
 cargo test -q
 
-echo "=== 4/9 cargo clippy --all-targets -- -D warnings ==="
+echo "=== 4/11 cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
-echo "=== 5/9 cargo doc --no-deps (warnings denied) ==="
+echo "=== 5/11 cargo doc --no-deps (warnings denied) ==="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "=== 6/9 cargo bench -p amped-bench -- --test (smoke) ==="
+echo "=== 6/11 cargo bench -p amped-bench -- --test (smoke) ==="
 cargo bench -p amped-bench -- --test
 
-echo "=== 7/9 cluster example (smoke) ==="
+echo "=== 7/11 cluster example (smoke) ==="
 # The multi-node path end to end: ClusterSpec → SimRuntime::cluster →
 # HierarchicalCcp → hierarchical all-gather, through the unchanged engine.
 cargo run --release --example cluster
 
-echo "=== 8/9 ec_kernel smoke + bench_diff BENCH_pr5.json BENCH_pr6.json (gating) ==="
+echo "=== 8/11 trace_export (observability artifacts, self-validating) ==="
+# Small ALS runs on both engines with metrics + span tracing attached. The
+# binary asserts its own output: the Chrome traces parse through the
+# serde_json shim, carry one named track per device with nested
+# iteration/mode/shard slices, and the Prometheus exposition carries the
+# engine and runtime counters. A non-zero exit means the observability
+# layer broke.
+cargo run --release -p amped-bench --bin trace_export target/trace_export
+
+echo "=== 9/11 ec_kernel smoke + bench_diff BENCH_pr5.json BENCH_pr6.json (gating) ==="
 # The kernel-layer smoke: the elementwise bench compiles and runs, and the
 # committed pr6 snapshot shows the privatized parallel kernel beating the
 # sequential oracle. The assert-faster check compares two rows of the *same*
@@ -42,7 +51,15 @@ cargo bench -p amped-bench --bench ec_kernel -- --test
 cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr5.json BENCH_pr6.json \
   "--assert-faster=ec_kernel/parallel_privatized/r32,ec_kernel/sequential/r32"
 
-echo "=== 9/9 bench_diff BENCH_pr4.json BENCH_pr5.json (informational) ==="
+echo "=== 10/11 bench_diff BENCH_pr6.json BENCH_pr7.json (obs overhead gate) ==="
+# The observability overhead contract: in the committed pr7 snapshot the
+# fully instrumented MTTKRP (metrics + tracing attached) must sit within 5%
+# of the uninstrumented run. Both rows come from the same snapshot, so the
+# check is machine-consistent and safe to gate on.
+cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr6.json BENCH_pr7.json \
+  "--assert-within=obs/mttkrp_instrumented,obs/mttkrp_uninstrumented,5"
+
+echo "=== 11/11 bench_diff BENCH_pr4.json BENCH_pr5.json (informational) ==="
 # Snapshot deltas across machines are noise-prone; this stage prints the
 # table but never fails CI (add --fail-on-regression for a gating run).
 cargo run --release -p amped-bench --bin bench_diff -- BENCH_pr4.json BENCH_pr5.json \

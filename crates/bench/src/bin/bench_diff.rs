@@ -17,6 +17,12 @@
 //! deltas this is machine-consistent (both medians come from the same run),
 //! so CI can gate on it: e.g. the parallel elementwise kernel must beat the
 //! sequential oracle.
+//!
+//! `--assert-within=<entry>,<baseline>,<pct>` (repeatable) is the same-run
+//! overhead gate: entry `<entry>` must have a median no more than `<pct>`
+//! percent above `<baseline>`'s. CI uses it to hold the instrumented MTTKRP
+//! within 5% of the uninstrumented run — the observability layer's
+//! overhead contract.
 
 use serde_json::Value;
 use std::process::ExitCode;
@@ -91,6 +97,7 @@ fn run(
     after_path: &str,
     fail_on_regression: bool,
     assert_faster: &[(String, String)],
+    assert_within: &[(String, String, f64)],
 ) -> Result<ExitCode, String> {
     let before = load_snapshot(before_path)?;
     let after = load_snapshot(after_path)?;
@@ -164,6 +171,37 @@ fn run(
     } else {
         println!("\nno regressions beyond {:.0}%.", THRESHOLD * 100.0);
     }
+    for (entry, baseline, pct) in assert_within {
+        let find = |name: &str| -> Result<f64, String> {
+            after
+                .entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .ok_or_else(|| format!("--assert-within: `{name}` not in {after_path}"))
+        };
+        let e = find(entry)?;
+        let b = find(baseline)?;
+        if b <= 0.0 {
+            return Err(format!(
+                "--assert-within: baseline `{baseline}` has non-positive median"
+            ));
+        }
+        let overhead = (e / b - 1.0) * 100.0;
+        if overhead <= *pct {
+            println!(
+                "assert-within: `{entry}` is {overhead:+.1}% vs `{baseline}` (limit {pct:.1}%)"
+            );
+        } else {
+            println!(
+                "assert-within FAILED: `{entry}` ({:.3} ms) is {overhead:+.1}% over \
+                 `{baseline}` ({:.3} ms), limit {pct:.1}%",
+                e * 1e3,
+                b * 1e3
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
     for (fast, slow) in assert_faster {
         let f = after
             .entries
@@ -195,6 +233,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
     let mut assert_faster = Vec::new();
+    let mut assert_within = Vec::new();
     for a in &args {
         if let Some(pair) = a.strip_prefix("--assert-faster=") {
             let Some((fast, slow)) = pair.split_once(',') else {
@@ -203,16 +242,40 @@ fn main() -> ExitCode {
             };
             assert_faster.push((fast.to_string(), slow.to_string()));
         }
+        if let Some(triple) = a.strip_prefix("--assert-within=") {
+            let parts: Vec<&str> = triple.split(',').collect();
+            let parsed = match parts.as_slice() {
+                [entry, baseline, pct] => pct
+                    .parse::<f64>()
+                    .ok()
+                    .map(|p| (entry.to_string(), baseline.to_string(), p)),
+                _ => None,
+            };
+            let Some(t) = parsed else {
+                eprintln!(
+                    "bench_diff: --assert-within expects `<entry>,<baseline>,<pct>`, \
+                     got `{triple}`"
+                );
+                return ExitCode::FAILURE;
+            };
+            assert_within.push(t);
+        }
     }
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [before, after] = paths.as_slice() else {
         eprintln!(
             "usage: bench_diff <before.json> <after.json> [--fail-on-regression] \
-             [--assert-faster=<fast>,<slow>]"
+             [--assert-faster=<fast>,<slow>] [--assert-within=<entry>,<baseline>,<pct>]"
         );
         return ExitCode::FAILURE;
     };
-    match run(before, after, fail_on_regression, &assert_faster) {
+    match run(
+        before,
+        after,
+        fail_on_regression,
+        &assert_faster,
+        &assert_within,
+    ) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("bench_diff: {e}");

@@ -495,6 +495,89 @@ fn main() {
         ]);
     }
 
+    // 9. Observability (amped-obs): the same in-core MTTKRP with and
+    //    without metrics + tracing attached. The pair feeds the overhead
+    //    contract CI gates with `bench_diff --assert-within` — the
+    //    instrumented run must stay within 5% of the uninstrumented one —
+    //    plus informational modeled-vs-measured calibration ratios.
+    {
+        use amped_bench::calibration::calibrate;
+        use amped_runtime::TracingRuntime;
+        use amped_sim::obs::MetricsRegistry;
+
+        let t = GenSpec {
+            shape: vec![4_000, 1_500, 1_500],
+            nnz: 200_000,
+            skew: vec![0.6, 0.3, 0.3],
+            seed: 17,
+        }
+        .generate();
+        let nnz = t.nnz() as u64;
+        let rank = 32;
+        let mut rng = SmallRng::seed_from_u64(18);
+        let factors: Vec<Mat> = t
+            .shape()
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
+        let cfg = AmpedConfig {
+            rank,
+            isp_nnz: 2048,
+            shard_nnz_budget: 16_384,
+            ..AmpedConfig::default()
+        };
+        let spec = PlatformSpec::rtx6000_ada_node(4).scaled(1e-3);
+
+        let mut plain =
+            AmpedEngine::with_runtime(&t, Box::new(SimRuntime::new(spec.clone())), cfg.clone())
+                .unwrap();
+        let plain_s = median_secs(REPS, || {
+            plain.mttkrp_mode(0, &factors).unwrap();
+        });
+        push(&mut table, "obs/mttkrp_uninstrumented", plain_s, Some(nnz));
+
+        let registry = MetricsRegistry::new();
+        let rt = TracingRuntime::new(SimRuntime::new(spec.clone()).with_metrics(registry.clone()));
+        let mut traced = AmpedEngine::with_runtime(&t, Box::new(rt), cfg.clone()).unwrap();
+        let traced_s = median_secs(REPS, || {
+            traced.mttkrp_mode(0, &factors).unwrap();
+        });
+        push(&mut table, "obs/mttkrp_instrumented", traced_s, Some(nnz));
+        table.push(vec![
+            "obs/tracing_overhead".to_string(),
+            "—".to_string(),
+            format!(
+                "{:+.1}% instrumented vs plain",
+                (traced_s / plain_s - 1.0) * 100.0
+            ),
+        ]);
+
+        let rep = calibrate(&t, spec, cfg, 19).unwrap();
+        if let Some(launch) = rep.rows.iter().find(|r| r.op == "launch") {
+            table.push(vec![
+                "obs/calibration_launch_ratio".to_string(),
+                "—".to_string(),
+                match launch.ratio() {
+                    Some(x) => format!("{x:.4} modeled/measured"),
+                    None => "—".to_string(),
+                },
+            ]);
+        }
+        table.push(vec![
+            "obs/calibration_wall_ratio".to_string(),
+            "—".to_string(),
+            match rep.wall_ratio() {
+                Some(x) => format!("{x:.4} modeled/measured"),
+                None => "—".to_string(),
+            },
+        ]);
+        table.push(vec![
+            "obs/straggler_imbalance".to_string(),
+            "—".to_string(),
+            format!("{:.3} max/mean busy", rep.straggler.imbalance_ratio()),
+        ]);
+    }
+
     emit(
         out_dir,
         &name,

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod reportio;
 
 use amped_baselines::{

@@ -110,12 +110,20 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
     let mut fits = Vec::new();
     let mut iterations = 0;
     let mut per_iteration: Vec<RunReport> = Vec::new();
+    // Observability: when the engine's runtime carries a tracer, every
+    // iteration/mode region opens a span so op records (and the Chrome
+    // trace exported from them) nest `iteration=i/mode=d/shard=s`. With no
+    // tracer `tl` is `None` and the loop body does nothing extra.
+    let tl = engine.timeline();
+    let registry = engine.metrics();
+    let als_iterations = registry.counter("als_iterations");
     let mut rebalancer = opts
         .rebalance
-        .map(|r| RebalancingPlanner::new(Box::new(NnzCcp), r.threshold));
+        .map(|r| RebalancingPlanner::new(Box::new(NnzCcp), r.threshold).with_metrics(registry));
     let mut rebalances = 0usize;
 
-    for _iter in 0..opts.max_iters {
+    for iter in 0..opts.max_iters {
+        let _iter_span = tl.as_ref().map(|t| t.span("iteration", iter as u64));
         let mut last_m: Option<Mat> = None;
         let mut iter_report = RunReport {
             per_gpu: vec![Default::default(); engine.num_gpus()],
@@ -123,6 +131,7 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
         };
         let mut iter_timings = Vec::with_capacity(n);
         for d in 0..n {
+            let _mode_span = tl.as_ref().map(|t| t.span("mode", d as u64));
             let (m, timing) = engine.mttkrp_mode(d, &factors)?;
             for (acc, g) in report.per_gpu.iter_mut().zip(&timing.per_gpu) {
                 acc.add(g);
@@ -149,6 +158,7 @@ pub fn cp_als(engine: &mut impl MttkrpEngine, opts: &AlsOptions) -> Result<AlsRe
             }
         }
         iterations += 1;
+        als_iterations.inc();
 
         // Fit via the standard CP-ALS shortcut: ⟨X, X̂⟩ folds the last
         // MTTKRP result against the newest factor and λ.

@@ -16,9 +16,10 @@ use amped_plan::{
     UniformCost, WorkloadProfile,
 };
 use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
-use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime};
+use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime, Timeline};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
+use amped_sim::obs::{Counter, MetricsRegistry};
 use amped_sim::{PlatformSpec, SimError, TimeBreakdown};
 use amped_tensor::{Idx, SparseTensor};
 use std::ops::Range;
@@ -70,6 +71,19 @@ pub trait MttkrpEngine {
     /// re-shards under the new ranges without rebuilding the engine, so
     /// [`crate::als::cp_als`] can rebalance between iterations.
     fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError>;
+
+    /// The op timeline of the engine's runtime, when a tracing backend is
+    /// attached — how [`crate::als::cp_als`] opens `iteration`/`mode` spans
+    /// without knowing the runtime's concrete type. `None` (the default)
+    /// means no observer: the driver skips span bookkeeping entirely.
+    fn timeline(&self) -> Option<Timeline> {
+        None
+    }
+
+    /// The metrics registry of the engine's runtime (detached by default).
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::detached()
+    }
 }
 
 /// One inter-shard partition prepared for execution.
@@ -109,6 +123,25 @@ pub struct AmpedEngine {
     /// dynamic-queue schedule needs on heterogeneous platforms. All entries
     /// are equal on a homogeneous spec, making every ratio exactly 1.
     gpu_throughput: Vec<f64>,
+    obs: EngineMeters,
+}
+
+/// The engine's own telemetry handles (runtime-level counters live in the
+/// backend): nonzeros processed per executed shard, and replans applied.
+/// Detached — free — unless the runtime carries an attached registry.
+#[derive(Debug, Default)]
+struct EngineMeters {
+    nnz_processed: Counter,
+    replans: Counter,
+}
+
+impl EngineMeters {
+    fn attach(registry: &MetricsRegistry) -> Self {
+        Self {
+            nnz_processed: registry.counter("nnz_processed"),
+            replans: registry.counter("replans"),
+        }
+    }
 }
 
 /// Re-prices a shard's compute time (prepared against GPU `owner`'s spec)
@@ -224,6 +257,7 @@ impl AmpedEngine {
         let gpu_throughput = (0..m)
             .map(|g| throughput_query.device_throughput(g))
             .collect();
+        let obs = EngineMeters::attach(&runtime.metrics());
         Ok(Self {
             runtime,
             spec,
@@ -231,6 +265,7 @@ impl AmpedEngine {
             plan,
             mode_shards,
             gpu_throughput,
+            obs,
         })
     }
 
@@ -319,6 +354,7 @@ impl AmpedEngine {
             d,
         );
         self.plan.preprocess_wall += start.elapsed().as_secs_f64();
+        self.obs.replans.inc();
         Ok(())
     }
 
@@ -425,9 +461,12 @@ impl AmpedEngine {
             mode_shards,
             cfg,
             gpu_throughput,
+            obs,
             ..
         } = self;
+        let tl = runtime.timeline();
         let runtime = runtime.as_mut();
+        let mut nnz_done: u64 = 0;
         let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
 
         for (g, shard_ids) in assignment.iter().enumerate() {
@@ -439,6 +478,10 @@ impl AmpedEngine {
             let mut compute_busy = 0.0;
             for (k, &sid) in shard_ids.iter().enumerate() {
                 let su = &mode_shards[d][sid];
+                // The shard span wraps both the staged transfer and the grid
+                // launch, so traces nest `…/mode=d/shard=sid` around exactly
+                // the ops this shard issued. `tl` is `None` without a tracer.
+                let _shard = tl.as_ref().map(|t| t.span("shard", sid as u64));
                 let t_x = runtime.h2d_time(g, active, su.transfer_bytes);
                 let su_compute = reprice(su.compute, gpu_throughput, su.gpu, g);
                 let prev_transfer = if k > 0 { transfer_end[k - 1] } else { 0.0 };
@@ -456,6 +499,7 @@ impl AmpedEngine {
                 let src = FnSource::new(|e, m| tensor.idx(e, m), |e| tensor.value(e));
                 let blocks: Vec<_> = su.isps.iter().map(|u| u.range.clone()).collect();
                 let costs: Vec<f64> = su.isps.iter().map(|u| u.cost).collect();
+                nnz_done += blocks.iter().map(|b| b.len() as u64).sum::<u64>();
                 launch_mttkrp(runtime, g, &src, d, &fviews, &blocks, &costs, &out);
             }
             let end = compute_end.last().copied().unwrap_or(0.0);
@@ -475,6 +519,8 @@ impl AmpedEngine {
             per_gpu[g].h2d = exposed;
             per_gpu[g].idle += (end - compute_busy - exposed).max(0.0);
         }
+
+        obs.nnz_processed.add(nnz_done);
 
         // --- Inter-GPU barrier (Algorithm 1 line 9).
         let barrier = ends.iter().cloned().fold(0.0f64, f64::max);
@@ -747,6 +793,14 @@ impl MttkrpEngine for AmpedEngine {
 
     fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
         AmpedEngine::replan(self, assignment)
+    }
+
+    fn timeline(&self) -> Option<Timeline> {
+        self.runtime.timeline()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.runtime.metrics()
     }
 }
 

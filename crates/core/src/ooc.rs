@@ -152,6 +152,10 @@ impl OocEngine {
         let plan = StreamPlan::build_with_planner(&mut reader, planner, &cost, cache_rows)
             .map_err(|e| e.into_sim())?;
 
+        // Chunk I/O telemetry (`ooc_*` counters) records into the runtime's
+        // registry; detached registries make this free.
+        reader.set_metrics(runtime.metrics());
+
         Ok(Self {
             runtime,
             spec,
@@ -234,7 +238,9 @@ impl OocEngine {
         let cache_rows = (gpu.l2_bytes / (self.cfg.rank as u64 * 4)).max(1) as usize;
         self.plan
             .rebuild_mode(&mut self.reader, d, assignment.index_ranges(), cache_rows)
-            .map_err(|e| e.into_sim())
+            .map_err(|e| e.into_sim())?;
+        self.runtime.metrics().counter("replans").inc();
+        Ok(())
     }
 
     /// Runs MTTKRP for output mode `d` out of core: chunks stream from disk
@@ -322,8 +328,13 @@ impl OocEngine {
         // above, so a timeline of this engine shows compute placement in
         // the scatter ops, not these launches.
         let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
+        let tl = runtime.timeline();
+        let nnz_counter = runtime.metrics().counter("nnz_processed");
         for k in 0..num_chunks {
+            // Out of core the streamed chunk is the shard-level region.
+            let _chunk_span = tl.as_ref().map(|t| t.span("shard", k as u64));
             let chunk = reader.load_chunk(k).map_err(|e| e.into_sim())?;
+            nnz_counter.add(chunk.nnz() as u64);
             let isps = isp_ranges(0..chunk.nnz(), cfg.isp_nnz);
             let src = FnSource::new(|e, m| chunk.coords(e)[m], |e| chunk.value(e));
             // Zero costs: simulated time comes from the slice model above.
@@ -449,6 +460,14 @@ impl MttkrpEngine for OocEngine {
 
     fn replan(&mut self, assignment: &ModeAssignment) -> Result<(), SimError> {
         OocEngine::replan(self, assignment)
+    }
+
+    fn timeline(&self) -> Option<amped_runtime::Timeline> {
+        self.runtime.timeline()
+    }
+
+    fn metrics(&self) -> amped_sim::obs::MetricsRegistry {
+        self.runtime.metrics()
     }
 }
 

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use amped_partition::balance::overhead_fraction;
+use amped_sim::obs::{Counter, MetricsRegistry};
 
 use crate::assignment::ModeAssignment;
 use crate::cost::CostQuery;
@@ -30,6 +31,8 @@ pub struct RebalancingPlanner {
     /// Per-mode observed device speeds (nnz per simulated second).
     observed: BTreeMap<usize, Vec<f64>>,
     triggers: usize,
+    trigger_counter: Counter,
+    observation_counter: Counter,
 }
 
 impl RebalancingPlanner {
@@ -46,7 +49,19 @@ impl RebalancingPlanner {
             threshold,
             observed: BTreeMap::new(),
             triggers: 0,
+            trigger_counter: Counter::default(),
+            observation_counter: Counter::default(),
         }
+    }
+
+    /// Attaches `registry`: every [`RebalancingPlanner::observe`] call
+    /// bumps `rebalance_observations`, and each threshold crossing bumps
+    /// `rebalance_triggers` — so a metrics scrape shows replanning activity
+    /// next to the runtime counters it reacts to.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.trigger_counter = registry.counter("rebalance_triggers");
+        self.observation_counter = registry.counter("rebalance_observations");
+        self
     }
 
     /// The configured imbalance threshold.
@@ -72,6 +87,7 @@ impl RebalancingPlanner {
     /// a fresh assignment and hand it to the engine's `replan`.
     pub fn observe(&mut self, mode: usize, per_gpu_compute: &[f64], per_gpu_nnz: &[u64]) -> bool {
         assert_eq!(per_gpu_compute.len(), per_gpu_nnz.len());
+        self.observation_counter.inc();
         let loaded: Vec<f64> = per_gpu_compute
             .iter()
             .zip(per_gpu_nnz)
@@ -106,6 +122,7 @@ impl RebalancingPlanner {
             .collect();
         self.observed.insert(mode, speeds);
         self.triggers += 1;
+        self.trigger_counter.inc();
         true
     }
 }
@@ -190,5 +207,16 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn rejects_out_of_range_threshold() {
         RebalancingPlanner::new(Box::new(NnzCcp), 1.5);
+    }
+
+    #[test]
+    fn metrics_count_observations_and_triggers() {
+        let reg = MetricsRegistry::new();
+        let mut rb = RebalancingPlanner::new(Box::new(NnzCcp), 0.2).with_metrics(reg.clone());
+        assert!(!rb.observe(0, &[1.0, 1.0], &[100, 100]));
+        assert!(rb.observe(0, &[1.0, 2.5], &[100, 100]));
+        assert_eq!(reg.counter_value("rebalance_observations", &[]), 2);
+        assert_eq!(reg.counter_value("rebalance_triggers", &[]), 1);
+        assert_eq!(rb.triggers(), 1);
     }
 }

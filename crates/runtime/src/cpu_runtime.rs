@@ -25,6 +25,8 @@ use crate::device::Device;
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::sim_runtime::SimRuntime;
 use crate::smexec::{execute_blocks, host_workers, GridTiming};
+use crate::tracing::Timeline;
+use amped_sim::obs::MetricsRegistry;
 use amped_sim::{ClusterSpec, LinkSpec, MemPool, PlatformSpec, SimError};
 use std::time::Instant;
 
@@ -55,6 +57,15 @@ impl CpuParallelRuntime {
     pub fn modeled_makespan(&self, gpu: usize, costs: &[f64]) -> GridTiming {
         self.inner.makespan(gpu, costs)
     }
+
+    /// Attaches `registry` to the shared inner backend: transfer/collective
+    /// /alloc counters flow exactly as on [`SimRuntime`], and launches are
+    /// counted there too (this backend only changes *how* a launch's time
+    /// is obtained, not that it happened).
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.inner.set_metrics(registry);
+        self
+    }
 }
 
 impl DeviceRuntime for CpuParallelRuntime {
@@ -68,6 +79,14 @@ impl DeviceRuntime for CpuParallelRuntime {
 
     fn makespan(&self, gpu: usize, costs: &[f64]) -> GridTiming {
         self.inner.makespan(gpu, costs)
+    }
+
+    fn timeline(&self) -> Option<Timeline> {
+        self.inner.timeline()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.inner.metrics()
     }
 
     fn alloc(&mut self, device: Device, bytes: u64, purpose: &str) -> Result<(), SimError> {
@@ -91,6 +110,11 @@ impl DeviceRuntime for CpuParallelRuntime {
         // The host pool stands in for every simulated GPU; `gpu` only
         // selects where a simulated backend would have placed the grid.
         let _ = gpu;
+        let reg = self.inner.metrics();
+        if reg.is_attached() {
+            reg.counter("launches").inc();
+            reg.histogram("launch_blocks").observe(costs.len() as f64);
+        }
         let start = Instant::now();
         execute_blocks(host_workers(), costs.len(), kernel);
         let wall = start.elapsed().as_secs_f64();

@@ -1,0 +1,304 @@
+//! Timeline exporters: Chrome trace-event JSON.
+//!
+//! [`chrome_trace`] turns a traced [`Timeline`] into the Chrome trace-event
+//! format (the JSON Perfetto and `chrome://tracing` load): one *track*
+//! (thread) per device, every op as a complete `"X"` slice, and every span
+//! prefix (`iteration=0`, `iteration=0/mode=1`, …) as an enclosing slice on
+//! the device tracks, so the viewer shows ALS iterations → modes → shards
+//! as nested bars above the ops they issued.
+//!
+//! Span slices are *derived*: a span's slice on a device is the hull
+//! `[min start, max end]` of that device's ops carrying the span prefix.
+//! Because scopes are RAII (siblings never interleave) and each device's
+//! simulated clock only moves forward, hulls of sibling spans are disjoint
+//! and every child hull lies inside its parent's — the exporter produces
+//! well-formed nesting by construction, which `tests/prop_trace_export.rs`
+//! property-checks against arbitrary op sequences.
+//!
+//! The Prometheus-style exposition of the metrics registry lives with the
+//! registry itself (`amped_sim::obs::MetricsRegistry::render_prometheus`);
+//! this module is about the *timeline*.
+
+use crate::device::Device;
+use crate::tracing::{OpRecord, Timeline};
+use serde_json::Value;
+
+/// The trace-event `tid` of a device: host = 0, GPU `g` = `g + 1`.
+pub fn device_tid(device: Device) -> u64 {
+    match device {
+        Device::Host => 0,
+        Device::Gpu(g) => g as u64 + 1,
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn n(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn device_name(device: Device) -> String {
+    match device {
+        Device::Host => "host".to_string(),
+        Device::Gpu(g) => format!("gpu{g}"),
+    }
+}
+
+/// One derived slice (span hull or op) before serialization.
+struct Slice {
+    tid: u64,
+    name: String,
+    cat: &'static str,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(String, Value)>,
+}
+
+fn op_slice(r: &OpRecord) -> Slice {
+    let mut args: Vec<(String, Value)> = vec![
+        ("bytes".to_string(), n(r.bytes as f64)),
+        ("blocks".to_string(), n(r.blocks as f64)),
+    ];
+    if !r.detail.is_empty() {
+        args.push(("detail".to_string(), s(&r.detail)));
+    }
+    if !r.span.is_root() {
+        args.push(("span".to_string(), s(&r.span.render())));
+    }
+    Slice {
+        tid: device_tid(r.device),
+        name: r.kind.to_string(),
+        cat: "op",
+        ts_us: r.start * 1e6,
+        dur_us: (r.end - r.start) * 1e6,
+        args,
+    }
+}
+
+/// Builds the trace-event JSON tree for `timeline`. The result has a
+/// `traceEvents` array of thread-name metadata (`"M"`) events followed by
+/// complete (`"X"`) slices — load it in Perfetto / `chrome://tracing`
+/// as-is. Timestamps are the tracer's simulated clocks in microseconds.
+pub fn chrome_trace(timeline: &Timeline) -> Value {
+    let records = timeline.snapshot();
+
+    // Span hulls per (device, span prefix), in first-appearance order so
+    // output is deterministic and parents (shorter prefixes seen first on
+    // each device) precede children at equal timestamps after the sort.
+    let mut hull_keys: Vec<(u64, String)> = Vec::new();
+    let mut hulls: std::collections::HashMap<(u64, String), (f64, f64, String)> =
+        std::collections::HashMap::new();
+    for r in &records {
+        let tid = device_tid(r.device);
+        for depth in 1..=r.span.depth() {
+            let prefix = r.span.prefix(depth);
+            let key = (tid, prefix.render());
+            let label = prefix.labels()[depth - 1].to_string();
+            let entry = hulls.entry(key.clone()).or_insert_with(|| {
+                hull_keys.push(key);
+                (f64::INFINITY, f64::NEG_INFINITY, label)
+            });
+            entry.0 = entry.0.min(r.start);
+            entry.1 = entry.1.max(r.end);
+        }
+    }
+
+    let mut slices: Vec<Slice> = Vec::new();
+    for key in &hull_keys {
+        let (start, end, label) = &hulls[key];
+        slices.push(Slice {
+            tid: key.0,
+            name: label.clone(),
+            cat: "span",
+            ts_us: start * 1e6,
+            dur_us: (end - start) * 1e6,
+            args: vec![("path".to_string(), s(&key.1))],
+        });
+    }
+    slices.extend(records.iter().map(op_slice));
+    // Stable nesting order: per track, by start time, widest first so a
+    // parent hull precedes the children and ops it encloses.
+    slices.sort_by(|a, b| {
+        (a.tid, a.ts_us, -a.dur_us)
+            .partial_cmp(&(b.tid, b.ts_us, -b.dur_us))
+            .expect("finite slice times")
+    });
+
+    let mut tids: Vec<u64> = slices.iter().map(|sl| sl.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut events: Vec<Value> = Vec::new();
+    events.push(obj(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", n(1.0)),
+        ("args", obj(vec![("name", s("amped"))])),
+    ]));
+    for &tid in &tids {
+        let device = if tid == 0 {
+            Device::Host
+        } else {
+            Device::Gpu(tid as usize - 1)
+        };
+        events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", n(1.0)),
+            ("tid", n(tid as f64)),
+            ("args", obj(vec![("name", s(&device_name(device)))])),
+        ]));
+    }
+    for sl in slices {
+        events.push(obj(vec![
+            ("name", s(&sl.name)),
+            ("cat", s(sl.cat)),
+            ("ph", s("X")),
+            ("ts", n(sl.ts_us)),
+            ("dur", n(sl.dur_us)),
+            ("pid", n(1.0)),
+            ("tid", n(sl.tid as f64)),
+            ("args", Value::Obj(sl.args)),
+        ]));
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", s("ms")),
+    ])
+}
+
+/// [`chrome_trace`] rendered as pretty-printed JSON text, ready to write
+/// to a `.json` file.
+pub fn chrome_trace_string(timeline: &Timeline) -> String {
+    serde_json::to_string_pretty(&chrome_trace(timeline)).expect("json render is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DeviceRuntime;
+    use crate::sim_runtime::SimRuntime;
+    use crate::tracing::TracingRuntime;
+    use amped_sim::PlatformSpec;
+
+    fn events(v: &Value) -> Vec<&Value> {
+        match v {
+            Value::Obj(fields) => match fields.iter().find(|(k, _)| k == "traceEvents") {
+                Some((_, Value::Arr(items))) => items.iter().collect(),
+                _ => panic!("no traceEvents array"),
+            },
+            _ => panic!("root must be an object"),
+        }
+    }
+
+    fn field<'a>(ev: &'a Value, key: &str) -> Option<&'a Value> {
+        match ev {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(ev: &Value, key: &str) -> f64 {
+        match field(ev, key) {
+            Some(Value::Num(x)) => *x,
+            other => panic!("field {key}: {other:?}"),
+        }
+    }
+
+    fn text(ev: &Value, key: &str) -> String {
+        match field(ev, key) {
+            Some(Value::Str(x)) => x.clone(),
+            other => panic!("field {key}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_has_tracks_spans_and_ops() {
+        let mut rt = TracingRuntime::new(SimRuntime::new(
+            PlatformSpec::rtx6000_ada_node(2).scaled(1e-3),
+        ));
+        let tl = rt.timeline();
+        {
+            let _it = tl.span("iteration", 0);
+            {
+                let _m = tl.span("mode", 0);
+                rt.h2d_time(0, 1, 1000);
+                rt.launch_grid(0, &|_| {}, &[0.5; 4]);
+            }
+            {
+                let _m = tl.span("mode", 1);
+                rt.launch_grid(1, &|_| {}, &[0.25; 2]);
+            }
+        }
+        let v = chrome_trace(&tl);
+        let evs = events(&v);
+        // Metadata: process + 2 gpu tracks (no host ops here).
+        let meta: Vec<_> = evs
+            .iter()
+            .filter(|e| text(e, "ph") == "M")
+            .map(|e| text(e, "name"))
+            .collect();
+        assert!(meta.contains(&"process_name".to_string()));
+        assert_eq!(
+            meta.iter().filter(|m| *m == "thread_name").count(),
+            2,
+            "{meta:?}"
+        );
+        // Span hulls exist and contain their ops.
+        let xs: Vec<_> = evs.iter().filter(|e| text(e, "ph") == "X").collect();
+        let spans: Vec<_> = xs.iter().filter(|e| text(e, "cat") == "span").collect();
+        let ops: Vec<_> = xs.iter().filter(|e| text(e, "cat") == "op").collect();
+        // gpu0: iteration=0 + mode=0; gpu1: iteration=0 + mode=1.
+        assert_eq!(spans.len(), 4);
+        assert_eq!(ops.len(), 3);
+        for op in &ops {
+            let (t0, t1) = (num(op, "ts"), num(op, "ts") + num(op, "dur"));
+            let parent = spans.iter().find(|sp| {
+                sp_field_path(sp).is_some()
+                    && num(sp, "tid") == num(op, "tid")
+                    && text(sp, "name").starts_with("mode=")
+            });
+            let sp = parent.expect("every op has an enclosing mode span");
+            assert!(num(sp, "ts") <= t0 + 1e-9);
+            assert!(num(sp, "ts") + num(sp, "dur") >= t1 - 1e-9);
+        }
+        // Round-trips through the shim parser.
+        let rendered = chrome_trace_string(&tl);
+        let back = serde_json::from_str(&rendered).expect("self-parseable");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&v).unwrap()
+        );
+    }
+
+    fn sp_field_path(sp: &Value) -> Option<String> {
+        field(sp, "args").and_then(|a| match a {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "path")
+                .map(|(k, _)| k.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn empty_timeline_exports_only_process_metadata() {
+        let tl = Timeline::default();
+        let v = chrome_trace(&tl);
+        let evs = events(&v);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(text(evs[0], "name"), "process_name");
+    }
+}

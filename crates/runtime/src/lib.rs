@@ -28,8 +28,18 @@
 //!   and collectives keep the simulated model — the honest
 //!   `GridTiming`-vs-wall calibration seam.
 //! * [`TracingRuntime`] — a decorator over any backend that records an
-//!   op-level timeline (op kind, device, bytes, simulated start/end); see
-//!   `examples/timeline.rs`.
+//!   op-level timeline (op kind, device, bytes, blocks, simulated
+//!   start/end, span path); see `examples/timeline.rs`.
+//! * [`spans`] — hierarchical span scopes ([`SpanScope`]) the ALS driver
+//!   and engines open around `iteration/mode/shard` regions, plus the
+//!   [`StragglerReport`] per-device busy statistics derived from a traced
+//!   run.
+//! * [`export`] — the Chrome trace-event JSON exporter
+//!   ([`chrome_trace`]): one track per device, spans as nested slices,
+//!   loadable in Perfetto. The metrics registry itself (counters, gauges,
+//!   histograms, Prometheus exposition) lives in [`amped_sim::obs`] so the
+//!   planning and streaming crates can record into it too; backends here
+//!   report through [`DeviceRuntime::metrics`].
 //! * [`kernels`] — the kernel layer: rank-blocked MTTKRP with privatized
 //!   per-block accumulation and a deterministic merge. Engines and
 //!   baselines launch through [`kernels::launch_mttkrp`] instead of writing
@@ -53,17 +63,21 @@
 pub mod collective;
 pub mod cpu_runtime;
 pub mod device;
+pub mod export;
 pub mod kernels;
 pub mod sim_runtime;
 pub mod smexec;
+pub mod spans;
 pub mod tracing;
 
 mod runtime;
 
 pub use cpu_runtime::CpuParallelRuntime;
 pub use device::{Device, Platform};
+pub use export::{chrome_trace, chrome_trace_string};
 pub use kernels::{launch_mttkrp, EcSource, FactorsView, FnSource, MttkrpOut};
 pub use runtime::{Collective, DeviceRuntime, FactorBlock};
 pub use sim_runtime::SimRuntime;
 pub use smexec::GridTiming;
+pub use spans::{SpanLabel, SpanPath, SpanScope, StragglerReport};
 pub use tracing::{OpKind, OpRecord, Timeline, TracingRuntime};

@@ -3,6 +3,8 @@
 
 use crate::device::Device;
 use crate::smexec::GridTiming;
+use crate::tracing::Timeline;
+use amped_sim::obs::MetricsRegistry;
 use amped_sim::{LinkSpec, MemPool, PlatformSpec, SimError};
 
 /// Which collective algorithm redistributes output-factor rows after a mode
@@ -58,6 +60,24 @@ pub trait DeviceRuntime: std::fmt::Debug {
 
     /// The memory pool of `device` (used/peak/available introspection).
     fn mem(&self, device: Device) -> &MemPool;
+
+    /// The op timeline this runtime records into, if it records one.
+    /// Backends return `None` (the default); decorators like
+    /// [`crate::TracingRuntime`] return their [`Timeline`] so drivers above
+    /// the trait object (the ALS loop, the engines) can open
+    /// `iteration/mode/shard` spans without knowing the concrete type.
+    fn timeline(&self) -> Option<Timeline> {
+        None
+    }
+
+    /// The metrics registry this runtime records into. Detached by default
+    /// — recording into a detached registry is a single branch, so
+    /// uninstrumented runs pay (near) nothing. Backends that support
+    /// attachment (e.g. `SimRuntime::with_metrics`) return their attached
+    /// handle; decorators forward to the inner backend.
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::detached()
+    }
 
     // --- Planning queries (pure, never traced) -----------------------------
 

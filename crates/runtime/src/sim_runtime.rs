@@ -8,7 +8,45 @@ use crate::collective::{
 use crate::device::{Device, Platform};
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::smexec::{list_schedule_makespan, run_grid, GridTiming};
+use amped_sim::obs::{Counter, Histogram, MetricsRegistry};
 use amped_sim::{ClusterSpec, LinkSpec, MemPool, PlatformSpec, SimError};
+
+/// Pre-registered metric handles for the runtime's hot ops — one relaxed
+/// atomic per recording when attached, one branch when detached (the
+/// default). Byte counters are split per link tier: host↔device PCIe in
+/// each direction, and intra- vs inter-node GPU↔GPU traffic.
+#[derive(Clone, Debug, Default)]
+struct RtMeters {
+    registry: MetricsRegistry,
+    launches: Counter,
+    launch_blocks: Histogram,
+    bytes_h2d: Counter,
+    bytes_d2h: Counter,
+    bytes_p2p_intra: Counter,
+    bytes_p2p_inter: Counter,
+    scatters: Counter,
+    allgathers: Counter,
+    allocs: Counter,
+    oom_failures: Counter,
+}
+
+impl RtMeters {
+    fn attach(registry: MetricsRegistry) -> Self {
+        Self {
+            launches: registry.counter("launches"),
+            launch_blocks: registry.histogram("launch_blocks"),
+            bytes_h2d: registry.counter_with("link_bytes", &[("tier", "h2d")]),
+            bytes_d2h: registry.counter_with("link_bytes", &[("tier", "d2h")]),
+            bytes_p2p_intra: registry.counter_with("link_bytes", &[("tier", "p2p_intra")]),
+            bytes_p2p_inter: registry.counter_with("link_bytes", &[("tier", "p2p_inter")]),
+            scatters: registry.counter("scatters"),
+            allgathers: registry.counter("allgathers"),
+            allocs: registry.counter("allocs"),
+            oom_failures: registry.counter("oom_failures"),
+            registry,
+        }
+    }
+}
 
 /// [`DeviceRuntime`] backed by the deterministic platform simulator: kernels
 /// execute for real on host threads, time comes from the `amped-sim` cost
@@ -23,6 +61,7 @@ use amped_sim::{ClusterSpec, LinkSpec, MemPool, PlatformSpec, SimError};
 #[derive(Clone, Debug)]
 pub struct SimRuntime {
     platform: Platform,
+    meters: RtMeters,
 }
 
 impl SimRuntime {
@@ -30,6 +69,7 @@ impl SimRuntime {
     pub fn new(spec: PlatformSpec) -> Self {
         Self {
             platform: Platform::new(spec),
+            meters: RtMeters::default(),
         }
     }
 
@@ -39,12 +79,91 @@ impl SimRuntime {
     pub fn cluster(cluster: ClusterSpec) -> Self {
         Self {
             platform: Platform::from_cluster(cluster),
+            meters: RtMeters::default(),
         }
+    }
+
+    /// Attaches `registry`: from now on every op records counters
+    /// (launches, per-tier bytes, allocs, collectives) into it. Timings and
+    /// results are unaffected — metrics observe, they never steer.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.set_metrics(registry);
+        self
+    }
+
+    /// In-place form of [`SimRuntime::with_metrics`].
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.meters = RtMeters::attach(registry);
     }
 
     /// The owned device set.
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// Modeled wire bytes of an all-gather, split `(intra_node,
+    /// inter_node)`. Ring: every block traverses every edge except the one
+    /// "behind" its source, so edge `e → e+1` carries `total −
+    /// block[(e+1) % m]` bytes and each edge is billed to its tier.
+    /// Hierarchical: node aggregates cross the inter-node fabric
+    /// `(nodes − 1)` times while each node's local ring circulates the full
+    /// payload. These are cost-model totals (what the timing formulas
+    /// charge), not per-step event counts.
+    fn ring_byte_split(&self, block_bytes: &[u64], hierarchical: bool) -> (u64, u64) {
+        let m = block_bytes.len();
+        let total: u64 = block_bytes.iter().sum();
+        if m <= 1 || total == 0 {
+            return (0, 0);
+        }
+        if self.platform.num_nodes() == 1 {
+            return ((m as u64 - 1) * total, 0);
+        }
+        let cluster = self.platform.cluster();
+        if hierarchical {
+            let nodes = cluster.num_nodes() as u64;
+            let intra: u64 = cluster
+                .node_ranges()
+                .iter()
+                .map(|r| (r.len().saturating_sub(1)) as u64 * total)
+                .sum();
+            return (intra, (nodes - 1) * total);
+        }
+        let (mut intra, mut inter) = (0u64, 0u64);
+        for e in 0..m {
+            let dst = (e + 1) % m;
+            let edge_bytes = total - block_bytes[dst];
+            if cluster.node_of(e) == cluster.node_of(dst) {
+                intra += edge_bytes;
+            } else {
+                inter += edge_bytes;
+            }
+        }
+        (intra, inter)
+    }
+
+    /// Records the modeled byte movement of `allgather_time`/
+    /// `allgather_blocks` into the tier counters.
+    fn meter_allgather(&self, algo: Collective, block_bytes: &[u64]) {
+        self.meters.allgathers.inc();
+        let total: u64 = block_bytes.iter().sum();
+        match algo {
+            Collective::Ring => {
+                let (intra, inter) = self.ring_byte_split(block_bytes, false);
+                self.meters.bytes_p2p_intra.add(intra);
+                self.meters.bytes_p2p_inter.add(inter);
+            }
+            Collective::HierarchicalRing => {
+                let (intra, inter) = self.ring_byte_split(block_bytes, true);
+                self.meters.bytes_p2p_intra.add(intra);
+                self.meters.bytes_p2p_inter.add(inter);
+            }
+            Collective::HostStaged => {
+                // Every block goes up once; the concatenation comes back
+                // down to each of the m GPUs.
+                self.meters.bytes_d2h.add(total);
+                self.meters.bytes_h2d.add(total * block_bytes.len() as u64);
+            }
+        }
     }
 }
 
@@ -61,8 +180,26 @@ impl DeviceRuntime for SimRuntime {
         list_schedule_makespan(self.spec().gpus[gpu].sms, costs.iter().copied())
     }
 
+    fn metrics(&self) -> MetricsRegistry {
+        self.meters.registry.clone()
+    }
+
     fn alloc(&mut self, device: Device, bytes: u64, purpose: &str) -> Result<(), SimError> {
-        self.platform.alloc(device, bytes, purpose)
+        match self.platform.alloc(device, bytes, purpose) {
+            Ok(()) => {
+                self.meters.allocs.inc();
+                // Cold path: a by-name lookup keeps the purpose label open-
+                // ended without pre-registering every purpose string.
+                self.meters
+                    .registry
+                    .add("alloc_bytes", &[("purpose", purpose)], bytes);
+                Ok(())
+            }
+            Err(e) => {
+                self.meters.oom_failures.inc();
+                Err(e)
+            }
+        }
     }
 
     fn free(&mut self, device: Device, bytes: u64) {
@@ -79,6 +216,8 @@ impl DeviceRuntime for SimRuntime {
         kernel: &(dyn Fn(usize) + Sync),
         costs: &[f64],
     ) -> GridTiming {
+        self.meters.launches.inc();
+        self.meters.launch_blocks.observe(costs.len() as f64);
         run_grid(self.spec().gpus[gpu].sms, kernel, costs)
     }
 
@@ -91,10 +230,12 @@ impl DeviceRuntime for SimRuntime {
     }
 
     fn h2d_time(&mut self, gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.meters.bytes_h2d.add(bytes);
         self.platform.h2d_link(gpu, active).transfer_time(bytes)
     }
 
     fn d2h_time(&mut self, gpu: usize, active: usize, bytes: u64) -> f64 {
+        self.meters.bytes_d2h.add(bytes);
         self.platform.h2d_link(gpu, active).transfer_time(bytes)
     }
 
@@ -102,6 +243,8 @@ impl DeviceRuntime for SimRuntime {
         // Each GPU pulls its slice from its own node's host concurrently;
         // the stage costs the slowest slice in flight, and empty slices are
         // free. On one node this is exactly `host_staged_scatter_time`.
+        self.meters.scatters.inc();
+        self.meters.bytes_h2d.add(slice_bytes.iter().sum());
         slice_bytes
             .iter()
             .enumerate()
@@ -111,6 +254,7 @@ impl DeviceRuntime for SimRuntime {
     }
 
     fn allgather_time(&mut self, algo: Collective, block_bytes: &[u64]) -> f64 {
+        self.meter_allgather(algo, block_bytes);
         match algo {
             Collective::Ring => {
                 if self.platform.num_nodes() == 1 {
@@ -135,9 +279,12 @@ impl DeviceRuntime for SimRuntime {
     }
 
     fn allgather_blocks(&mut self, blocks: &[FactorBlock]) -> Vec<Vec<FactorBlock>> {
+        let block_bytes: Vec<u64> = blocks.iter().map(|b| b.data.len() as u64 * 4).collect();
         if self.platform.num_nodes() == 1 {
+            self.meter_allgather(Collective::Ring, &block_bytes);
             ring_allgather(blocks)
         } else {
+            self.meter_allgather(Collective::HierarchicalRing, &block_bytes);
             hierarchical_allgather(blocks, &self.platform.cluster().node_ranges())
         }
     }
@@ -255,6 +402,63 @@ mod tests {
         assert_eq!(
             r.allgather_time(Collective::HierarchicalRing, &bytes),
             r.allgather_time(Collective::Ring, &bytes)
+        );
+    }
+
+    #[test]
+    fn attached_metrics_count_ops_per_tier() {
+        let reg = MetricsRegistry::new();
+        let mut r = SimRuntime::new(PlatformSpec::rtx6000_ada_node(2).scaled(1e-3))
+            .with_metrics(reg.clone());
+        r.launch_grid(0, &|_| {}, &[0.5; 4]);
+        r.h2d_time(0, 2, 1000);
+        r.d2h_time(1, 2, 500);
+        r.allgather_time(Collective::Ring, &[100, 300]);
+        r.alloc(Device::Gpu(0), 64, "factor matrices").unwrap();
+        assert_eq!(reg.counter_value("launches", &[]), 1);
+        assert_eq!(reg.counter_value("link_bytes", &[("tier", "h2d")]), 1000);
+        assert_eq!(reg.counter_value("link_bytes", &[("tier", "d2h")]), 500);
+        // Two-GPU ring: each block crosses the other's edge once —
+        // (m−1) × total = 400 bytes, all intra-node.
+        assert_eq!(
+            reg.counter_value("link_bytes", &[("tier", "p2p_intra")]),
+            400
+        );
+        assert_eq!(reg.counter_value("link_bytes", &[("tier", "p2p_inter")]), 0);
+        assert_eq!(
+            reg.counter_value("alloc_bytes", &[("purpose", "factor matrices")]),
+            64
+        );
+        assert_eq!(reg.counter_value("allgathers", &[]), 1);
+        // Metrics observe without steering: timings match an unmetered run.
+        let mut plain = SimRuntime::new(PlatformSpec::rtx6000_ada_node(2).scaled(1e-3));
+        assert_eq!(r.h2d_time(0, 2, 12345), plain.h2d_time(0, 2, 12345));
+        // And the trait exposes the attached registry.
+        assert!(DeviceRuntime::metrics(&r).is_attached());
+    }
+
+    #[test]
+    fn cluster_ring_split_bills_the_internode_tier() {
+        let reg = MetricsRegistry::new();
+        let c = ClusterSpec::rtx6000_ada_cluster(2, 2).scaled(1e-3);
+        let mut r = SimRuntime::cluster(c).with_metrics(reg.clone());
+        r.allgather_time(Collective::Ring, &[100; 4]);
+        // Flat ring, 2×2: edges 1→2 and 3→0 cross nodes, each carrying
+        // total − 100 = 300 bytes.
+        assert_eq!(
+            reg.counter_value("link_bytes", &[("tier", "p2p_inter")]),
+            600
+        );
+        assert_eq!(
+            reg.counter_value("link_bytes", &[("tier", "p2p_intra")]),
+            600
+        );
+        // Hierarchical: node aggregates cross once.
+        let before = reg.counter_value("link_bytes", &[("tier", "p2p_inter")]);
+        r.allgather_time(Collective::HierarchicalRing, &[100; 4]);
+        assert_eq!(
+            reg.counter_value("link_bytes", &[("tier", "p2p_inter")]) - before,
+            400
         );
     }
 

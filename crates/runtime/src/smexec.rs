@@ -90,10 +90,31 @@ pub fn list_schedule_makespan(sms: usize, costs: impl IntoIterator<Item = f64>) 
 /// Defaults to `min(available_parallelism, 8)`. The `AMPED_THREADS`
 /// environment variable overrides it (clamped to ≥ 1), so benches and CI
 /// runs are reproducible on any core count: `AMPED_THREADS=8 cargo bench`.
+///
+/// An unparsable or zero `AMPED_THREADS` falls back (to the default / to 1)
+/// and says so **once** through [`amped_sim::obs::warn_once`] — silently
+/// ignoring a typo'd override would leave a bench run on the wrong worker
+/// count with nothing in the log to show why.
 pub fn host_workers() -> usize {
     if let Ok(v) = std::env::var("AMPED_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match v.trim().parse::<usize>() {
+            Ok(0) => {
+                amped_sim::obs::warn_once(
+                    "amped-threads-zero",
+                    "AMPED_THREADS=0 is not a valid worker count; clamping to 1",
+                );
+                return 1;
+            }
+            Ok(n) => return n,
+            Err(_) => {
+                amped_sim::obs::warn_once(
+                    "amped-threads-unparsable",
+                    &format!(
+                        "AMPED_THREADS={v:?} is not a number; \
+                         using the default worker count"
+                    ),
+                );
+            }
         }
     }
     std::thread::available_parallelism()
@@ -220,6 +241,40 @@ mod tests {
             execute_blocks(workers, 37, |b| hits.add(0, b, 1.0));
             assert_eq!(hits.to_vec(), vec![1.0; 37]);
         }
+    }
+
+    #[test]
+    fn garbage_amped_threads_warns_once_and_falls_back() {
+        // Env vars are process-global; this test owns AMPED_THREADS only
+        // long enough to observe the fallback, and the worker count never
+        // affects numeric results (simulated time ignores it), so a
+        // concurrent test seeing the garbage value stays correct.
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        std::env::set_var("AMPED_THREADS", "eight");
+        let w1 = host_workers();
+        let w2 = host_workers();
+        std::env::set_var("AMPED_THREADS", "0");
+        let w0 = host_workers();
+        std::env::remove_var("AMPED_THREADS");
+        assert_eq!(w1, default, "garbage value falls back to the default");
+        assert_eq!(w2, default);
+        assert_eq!(w0, 1, "zero clamps to one worker");
+        let warned: Vec<_> = amped_sim::obs::warnings()
+            .into_iter()
+            .filter(|(k, _)| k == "amped-threads-unparsable")
+            .collect();
+        assert_eq!(warned.len(), 1, "one-shot warning recorded exactly once");
+        assert!(warned[0].1.contains("eight"), "{:?}", warned[0]);
+        assert!(amped_sim::obs::warnings()
+            .iter()
+            .any(|(k, _)| k == "amped-threads-zero"));
+        // Still parses real overrides.
+        std::env::set_var("AMPED_THREADS", "3");
+        assert_eq!(host_workers(), 3);
+        std::env::remove_var("AMPED_THREADS");
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! A decorator runtime that records an op-level timeline.
+//! A decorator runtime that records a span-scoped op-level timeline.
 //!
 //! [`TracingRuntime`] wraps any [`DeviceRuntime`] and logs every *op* —
 //! kernel launches, transfers, collectives, allocations — with the device
-//! it ran on, the bytes it moved, and simulated start/end stamps. It is the
-//! proof that the runtime seam is real (the engines run unmodified on it)
-//! and the substrate for `examples/timeline.rs`.
+//! it ran on, the bytes it moved, the threadblocks it launched, simulated
+//! start/end stamps, and the hierarchical [`SpanPath`] open at issue time
+//! (`iteration=i/mode=m/shard=s` once the ALS driver and engines have
+//! opened their scopes via [`Timeline::span`]). It is the proof that the
+//! runtime seam is real (the engines run unmodified on it) and the
+//! substrate for `examples/timeline.rs`, the Chrome-trace exporter
+//! ([`crate::export`]), and [`crate::spans::StragglerReport`].
 //!
 //! **Clock semantics.** The tracer keeps one simulated cursor per device
 //! plus a host cursor: an op on device `d` starts at `d`'s cursor and
@@ -19,6 +23,8 @@
 use crate::device::Device;
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::smexec::GridTiming;
+use crate::spans::{SpanPath, SpanScope, SpanState};
+use amped_sim::obs::MetricsRegistry;
 use amped_sim::{LinkSpec, MemPool, PlatformSpec, SimError};
 use std::sync::{Arc, Mutex};
 
@@ -63,22 +69,29 @@ pub struct OpRecord {
     pub kind: OpKind,
     /// Device the op ran on ([`Device::Host`] for platform-wide ops).
     pub device: Device,
-    /// Bytes moved (transfers/collectives), allocated, or freed; for grid
-    /// launches, the number of threadblocks.
+    /// Bytes moved (transfers/collectives), allocated, or freed. Always
+    /// bytes — grid launches record 0 here and report their block count in
+    /// [`blocks`](Self::blocks).
     pub bytes: u64,
+    /// Threadblocks launched (grid launches only; 0 otherwise).
+    pub blocks: u64,
     /// Simulated start time under the tracer's per-device clock.
     pub start: f64,
     /// Simulated end time (`start` for zero-duration memory ops).
     pub end: f64,
     /// Free-form detail: allocation purpose, collective algorithm, …
     pub detail: String,
+    /// The span path open when the op was issued (root when no spans).
+    pub span: SpanPath,
 }
 
-/// A cloneable handle onto a tracer's recorded ops. Keep one before boxing
-/// the tracer into an engine; read it after the run.
+/// A cloneable handle onto a tracer's recorded ops and span cursor. Keep
+/// one before boxing the tracer into an engine; open spans and read
+/// records through it during and after the run.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
     records: Arc<Mutex<Vec<OpRecord>>>,
+    spans: SpanState,
 }
 
 impl Timeline {
@@ -118,6 +131,30 @@ impl Timeline {
             .sum()
     }
 
+    /// Sum of `blocks` over ops of `kind` (nonzero only for
+    /// [`OpKind::LaunchGrid`]).
+    pub fn blocks(&self, kind: OpKind) -> u64 {
+        self.records
+            .lock()
+            .expect("timeline lock")
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.blocks)
+            .sum()
+    }
+
+    /// Opens a `key=value` span: every op recorded until the returned
+    /// guard drops carries the extended path. Scopes nest
+    /// (`iteration` → `mode` → `shard`) and restore on drop.
+    pub fn span(&self, key: &'static str, value: u64) -> SpanScope {
+        self.spans.enter(key, value)
+    }
+
+    /// The span path ops issued right now would carry.
+    pub fn current_span(&self) -> SpanPath {
+        self.spans.current()
+    }
+
     /// Per-device busy-time summary: total simulated seconds of recorded
     /// ops of `kind` on each GPU (`num_gpus` entries; platform-wide ops
     /// recorded on [`Device::Host`] are excluded). With
@@ -144,8 +181,8 @@ impl Timeline {
         let mut out = String::new();
         writeln!(
             out,
-            "{:<5} {:>9} {:<6} {:>12} {:>12} {:>12}  detail",
-            "#", "kind", "device", "start(us)", "end(us)", "bytes"
+            "{:<5} {:>9} {:<6} {:>12} {:>12} {:>12} {:>8}  {:<24} detail",
+            "#", "kind", "device", "start(us)", "end(us)", "bytes", "blocks", "span"
         )
         .expect("string write");
         for (i, r) in self
@@ -157,13 +194,15 @@ impl Timeline {
         {
             writeln!(
                 out,
-                "{:<5} {:>9} {:<6} {:>12.3} {:>12.3} {:>12}  {}",
+                "{:<5} {:>9} {:<6} {:>12.3} {:>12.3} {:>12} {:>8}  {:<24} {}",
                 i,
                 r.kind.to_string(),
                 r.device.to_string(),
                 r.start * 1e6,
                 r.end * 1e6,
                 r.bytes,
+                r.blocks,
+                r.span.render(),
                 r.detail
             )
             .expect("string write");
@@ -216,7 +255,16 @@ impl<R: DeviceRuntime> TracingRuntime<R> {
     }
 
     /// Records a `duration`-long op on `device`, advancing its clock.
-    fn record(&mut self, kind: OpKind, device: Device, bytes: u64, duration: f64, detail: String) {
+    fn record(
+        &mut self,
+        kind: OpKind,
+        device: Device,
+        bytes: u64,
+        blocks: u64,
+        duration: f64,
+        detail: String,
+    ) {
+        let span = self.timeline.current_span();
         let clock = self.clock(device);
         let start = *clock;
         *clock = start + duration;
@@ -224,9 +272,11 @@ impl<R: DeviceRuntime> TracingRuntime<R> {
             kind,
             device,
             bytes,
+            blocks,
             start,
             end: start + duration,
             detail,
+            span,
         });
     }
 
@@ -247,9 +297,11 @@ impl<R: DeviceRuntime> TracingRuntime<R> {
             kind,
             device: Device::Host,
             bytes,
+            blocks: 0,
             start,
             end,
             detail,
+            span: self.timeline.current_span(),
         });
     }
 }
@@ -261,6 +313,14 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
 
     fn mem(&self, device: Device) -> &MemPool {
         self.inner.mem(device)
+    }
+
+    fn timeline(&self) -> Option<Timeline> {
+        Some(self.timeline.clone())
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.inner.metrics()
     }
 
     fn makespan(&self, gpu: usize, costs: &[f64]) -> GridTiming {
@@ -284,13 +344,13 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
 
     fn alloc(&mut self, device: Device, bytes: u64, purpose: &str) -> Result<(), SimError> {
         self.inner.alloc(device, bytes, purpose)?;
-        self.record(OpKind::Alloc, device, bytes, 0.0, purpose.to_string());
+        self.record(OpKind::Alloc, device, bytes, 0, 0.0, purpose.to_string());
         Ok(())
     }
 
     fn free(&mut self, device: Device, bytes: u64) {
         self.inner.free(device, bytes);
-        self.record(OpKind::Free, device, bytes, 0.0, String::new());
+        self.record(OpKind::Free, device, bytes, 0, 0.0, String::new());
     }
 
     fn reset_mem(&mut self) {
@@ -309,9 +369,10 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
         self.record(
             OpKind::LaunchGrid,
             Device::Gpu(gpu),
+            0,
             costs.len() as u64,
             timing.makespan,
-            format!("{} blocks", timing.blocks),
+            String::new(),
         );
         timing
     }
@@ -322,6 +383,7 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
             OpKind::H2d,
             Device::Gpu(gpu),
             bytes,
+            0,
             t,
             format!("{active} active"),
         );
@@ -334,6 +396,7 @@ impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
             OpKind::D2h,
             Device::Gpu(gpu),
             bytes,
+            0,
             t,
             format!("{active} active"),
         );
@@ -406,6 +469,40 @@ mod tests {
     }
 
     #[test]
+    fn launch_records_blocks_not_bytes() {
+        let (mut rt, tl) = traced(1);
+        rt.launch_grid(0, &|_| {}, &[0.5; 7]);
+        let recs = tl.snapshot();
+        assert_eq!(recs[0].kind, OpKind::LaunchGrid);
+        assert_eq!(recs[0].blocks, 7, "block count lives in `blocks`");
+        assert_eq!(recs[0].bytes, 0, "`bytes` stays bytes everywhere");
+        assert_eq!(tl.blocks(OpKind::LaunchGrid), 7);
+        assert_eq!(tl.bytes(OpKind::LaunchGrid), 0);
+        // Transfers record bytes, not blocks.
+        rt.h2d_time(0, 1, 4096);
+        assert_eq!(tl.snapshot()[1].bytes, 4096);
+        assert_eq!(tl.snapshot()[1].blocks, 0);
+    }
+
+    #[test]
+    fn spans_annotate_records_and_restore_on_drop() {
+        let (mut rt, tl) = traced(2);
+        {
+            let _it = tl.span("iteration", 0);
+            {
+                let _m = tl.span("mode", 1);
+                rt.launch_grid(0, &|_| {}, &[0.5; 2]);
+            }
+            rt.h2d_time(0, 1, 100);
+        }
+        rt.h2d_time(1, 1, 100);
+        let recs = tl.snapshot();
+        assert_eq!(recs[0].span.render(), "iteration=0/mode=1");
+        assert_eq!(recs[1].span.render(), "iteration=0");
+        assert!(recs[2].span.is_root());
+    }
+
+    #[test]
     fn gpu_busy_sums_per_device_durations() {
         let (mut rt, tl) = traced(3);
         rt.launch_grid(0, &|_| {}, &[0.5; 2]); // 2 blocks ≤ SMs: one round
@@ -469,6 +566,7 @@ mod tests {
         rt.h2d_time(0, 1, 42);
         let s = tl.render();
         assert!(s.contains("alloc") && s.contains("h2d") && s.contains("tensor copies"));
+        assert!(s.contains("blocks") && s.contains("span"), "{s}");
         assert_eq!(s.lines().count(), 1 + tl.len());
     }
 
@@ -477,5 +575,17 @@ mod tests {
         let (rt, tl) = traced(1);
         rt.makespan(0, &[1.0]);
         assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn trait_timeline_returns_the_tracers_handle() {
+        let (mut rt, tl) = traced(1);
+        let via_trait = DeviceRuntime::timeline(&rt).expect("tracer exposes a timeline");
+        rt.h2d_time(0, 1, 1);
+        assert_eq!(via_trait.len(), 1);
+        assert_eq!(tl.len(), 1);
+        // A plain SimRuntime has none.
+        let plain = SimRuntime::new(PlatformSpec::rtx6000_ada_node(1).scaled(1e-3));
+        assert!(DeviceRuntime::timeline(&plain).is_none());
     }
 }

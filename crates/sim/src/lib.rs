@@ -24,6 +24,11 @@
 //! * [`atomics`] — lock-free `f32` accumulation ([`AtomicMat`]), the Rust
 //!   equivalent of the CUDA `atomicAdd` in Algorithm 2 lines 18–19.
 //! * [`metrics`] — per-GPU time breakdowns (Fig. 7) and run reports.
+//! * [`obs`] — the observability registry ([`MetricsRegistry`]): lock-cheap
+//!   counters/gauges/histograms components record into, a Prometheus-style
+//!   text exposition, and one-shot warnings. Lives here — at the bottom of
+//!   the crate graph — so `amped-stream`, `amped-plan`, and the runtime
+//!   backends can all report into one registry.
 //!
 //! The *execution* primitives — the grid executor and the ring all-gather —
 //! live one layer up in `amped-runtime`, behind its `DeviceRuntime` trait;
@@ -38,6 +43,7 @@ pub mod cluster;
 pub mod costmodel;
 pub mod memory;
 pub mod metrics;
+pub mod obs;
 pub mod spec;
 
 mod error;
@@ -47,4 +53,5 @@ pub use cluster::ClusterSpec;
 pub use error::SimError;
 pub use memory::MemPool;
 pub use metrics::TimeBreakdown;
+pub use obs::MetricsRegistry;
 pub use spec::{GpuSpec, HostSpec, LinkSpec, PlatformSpec};

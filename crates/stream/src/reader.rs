@@ -2,6 +2,7 @@
 
 use crate::error::StreamError;
 use crate::format::{read_tnsb_meta, TnsbMeta};
+use amped_sim::obs::{Counter, Gauge, MetricsRegistry};
 use amped_sim::MemPool;
 use amped_tensor::{Idx, Val};
 use std::fs::File;
@@ -65,6 +66,18 @@ pub struct ChunkReader {
     path: PathBuf,
     meta: TnsbMeta,
     budget: MemPool,
+    meters: ReaderMeters,
+}
+
+/// Out-of-core telemetry handles: chunk reads/bytes, budget stalls
+/// (loads refused because staging was full), and a resident-bytes gauge.
+/// Detached (free) until [`ChunkReader::set_metrics`] attaches a registry.
+#[derive(Debug, Default)]
+struct ReaderMeters {
+    chunk_reads: Counter,
+    chunk_read_bytes: Counter,
+    chunk_stalls: Counter,
+    resident_bytes: Gauge,
 }
 
 impl ChunkReader {
@@ -79,7 +92,20 @@ impl ChunkReader {
             path,
             meta,
             budget,
+            meters: ReaderMeters::default(),
         })
+    }
+
+    /// Attaches `registry`: chunk loads, staged bytes, budget stalls, and
+    /// the resident-bytes gauge (`ooc_*` metrics) record into it from now
+    /// on. Purely observational — loads succeed and fail exactly as before.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.meters = ReaderMeters {
+            chunk_reads: registry.counter("ooc_chunk_reads"),
+            chunk_read_bytes: registry.counter("ooc_chunk_read_bytes"),
+            chunk_stalls: registry.counter("ooc_chunk_stalls"),
+            resident_bytes: registry.gauge("ooc_resident_bytes"),
+        };
     }
 
     /// File-level metadata (shape, histograms, chunk directory).
@@ -111,15 +137,26 @@ impl ChunkReader {
     pub fn load_chunk(&mut self, c: usize) -> Result<Chunk, StreamError> {
         assert!(c < self.meta.num_chunks(), "chunk {c} out of range");
         let bytes = self.meta.chunk_bytes(c);
-        self.budget.alloc(bytes, "chunk staging")?;
+        if let Err(e) = self.budget.alloc(bytes, "chunk staging") {
+            // A stall: the pipeline wanted a chunk the budget couldn't
+            // hold. The OOC engine's single-resident loop never stalls;
+            // leaky or over-eager callers show up here.
+            self.meters.chunk_stalls.inc();
+            return Err(e.into());
+        }
         match self.read_payload(c) {
-            Ok((coords, values)) => Ok(Chunk {
-                index: c,
-                order: self.meta.order(),
-                coords,
-                values,
-                bytes,
-            }),
+            Ok((coords, values)) => {
+                self.meters.chunk_reads.inc();
+                self.meters.chunk_read_bytes.add(bytes);
+                self.meters.resident_bytes.set(self.budget.used() as f64);
+                Ok(Chunk {
+                    index: c,
+                    order: self.meta.order(),
+                    coords,
+                    values,
+                    bytes,
+                })
+            }
             Err(e) => {
                 // A failed read must not leak budget.
                 self.budget.free(bytes);
@@ -131,6 +168,7 @@ impl ChunkReader {
     /// Returns a chunk's bytes to the staging budget.
     pub fn release(&mut self, chunk: Chunk) {
         self.budget.free(chunk.bytes);
+        self.meters.resident_bytes.set(self.budget.used() as f64);
     }
 
     fn read_payload(&mut self, c: usize) -> Result<(Vec<Idx>, Vec<Val>), StreamError> {
@@ -223,6 +261,28 @@ mod tests {
         r.release(second);
         // Peak never exceeded the budget.
         assert_eq!(r.budget().peak(), chunk_bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_count_reads_and_stalls() {
+        let t = GenSpec::uniform(vec![30, 20, 10], 500, 4).generate();
+        let path = tmp("metrics.tnsb");
+        write_tnsb(&t, &path, 100).unwrap();
+        let chunk_bytes = 100 * t.elem_bytes();
+        let reg = MetricsRegistry::new();
+        let mut r = ChunkReader::open(&path, MemPool::new("host-stage", chunk_bytes)).unwrap();
+        r.set_metrics(reg.clone());
+        let first = r.load_chunk(0).unwrap();
+        assert_eq!(reg.counter_value("ooc_chunk_reads", &[]), 1);
+        assert_eq!(reg.counter_value("ooc_chunk_read_bytes", &[]), chunk_bytes);
+        assert_eq!(reg.gauge("ooc_resident_bytes").get(), chunk_bytes as f64);
+        // A refused load is a stall, not a read.
+        assert!(r.load_chunk(1).unwrap_err().is_oom());
+        assert_eq!(reg.counter_value("ooc_chunk_stalls", &[]), 1);
+        assert_eq!(reg.counter_value("ooc_chunk_reads", &[]), 1);
+        r.release(first);
+        assert_eq!(reg.gauge("ooc_resident_bytes").get(), 0.0);
         std::fs::remove_file(path).ok();
     }
 

@@ -44,18 +44,27 @@ fn main() {
         .iter()
         .map(|&d| Mat::random(d as usize, 16, &mut rng))
         .collect();
-    let (_, timing) = engine.mttkrp_mode(0, &factors).expect("mode runs");
+    // Span scopes label the region: every op below carries the
+    // `iteration=0/mode=0/shard=s` path (the engine opens the shard level
+    // itself), which the Chrome-trace exporter turns into nested slices.
+    let (_, timing) = {
+        let _iter = timeline.span("iteration", 0);
+        let _mode = timeline.span("mode", 0);
+        engine.mttkrp_mode(0, &factors).expect("mode runs")
+    };
 
     println!("=== op-level timeline (mode 0) ===\n");
     println!("{}", timeline.render());
     use amped::runtime::OpKind;
     println!(
-        "{} ops total: {} allocs, {} h2d transfers ({} B), {} grid launches, {} all-gathers",
+        "{} ops total: {} allocs, {} h2d transfers ({} B), {} grid launches \
+         ({} threadblocks), {} all-gathers",
         timeline.len(),
         timeline.count(OpKind::Alloc),
         timeline.count(OpKind::H2d),
         timeline.bytes(OpKind::H2d),
         timeline.count(OpKind::LaunchGrid),
+        timeline.blocks(OpKind::LaunchGrid),
         timeline.count(OpKind::Allgather),
     );
     println!(

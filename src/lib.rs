@@ -56,11 +56,12 @@ pub mod prelude {
         RebalancingPlanner, UniformCost, WorkloadProfile,
     };
     pub use amped_runtime::{
-        launch_mttkrp, Collective, CpuParallelRuntime, Device, DeviceRuntime, FactorBlock,
-        FactorsView, FnSource, GridTiming, MttkrpOut, Platform, SimRuntime, Timeline,
-        TracingRuntime,
+        chrome_trace, chrome_trace_string, launch_mttkrp, Collective, CpuParallelRuntime, Device,
+        DeviceRuntime, FactorBlock, FactorsView, FnSource, GridTiming, MttkrpOut, Platform,
+        SimRuntime, SpanPath, SpanScope, StragglerReport, Timeline, TracingRuntime,
     };
     pub use amped_sim::metrics::{geomean, RunReport};
+    pub use amped_sim::obs::MetricsRegistry;
     pub use amped_sim::{ClusterSpec, MemPool, PlatformSpec, SimError, TimeBreakdown};
     pub use amped_stream::{
         convert_tns_to_tnsb, write_tnsb, ChunkReader, StreamError, StreamPlan, TnsbMeta, TnsbWriter,

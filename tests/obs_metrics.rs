@@ -1,0 +1,196 @@
+//! End-to-end observability: the metrics registry and span-scoped tracing
+//! threaded through a real CP-ALS run, the Prometheus exposition, the
+//! straggler report feeding the rebalancing planner — and the contract that
+//! none of it changes a single computed bit when no observer is attached.
+
+use amped::prelude::*;
+use amped::sim::obs::warnings;
+use amped_stream::write_tnsb;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn tensor() -> SparseTensor {
+    GenSpec {
+        shape: vec![80, 60, 50],
+        nnz: 5000,
+        skew: vec![0.7, 0.3, 0.0],
+        seed: 61,
+    }
+    .generate()
+}
+
+fn cfg() -> AmpedConfig {
+    AmpedConfig {
+        rank: 8,
+        isp_nnz: 256,
+        shard_nnz_budget: 2048,
+        ..AmpedConfig::default()
+    }
+}
+
+fn opts() -> AlsOptions {
+    AlsOptions {
+        max_iters: 3,
+        tol: 0.0,
+        seed: 62,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn metered_als_counts_the_run_and_renders_prometheus() {
+    let t = tensor();
+    let reg = MetricsRegistry::new();
+    let spec = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+    let rt = SimRuntime::new(spec).with_metrics(reg.clone());
+    let mut e = AmpedEngine::with_runtime(&t, Box::new(rt), cfg()).unwrap();
+    let res = cp_als(&mut e, &opts()).unwrap();
+    assert_eq!(res.iterations, 3);
+
+    // Engine-level counters: every nonzero of every mode of every
+    // iteration was processed exactly once.
+    let want_nnz = t.nnz() as u64 * t.order() as u64 * 3;
+    assert_eq!(reg.counter_value("nnz_processed", &[]), want_nnz);
+    assert_eq!(reg.counter_value("als_iterations", &[]), 3);
+
+    // Runtime-level counters recorded launches and per-tier traffic.
+    assert!(reg.counter_value("launches", &[]) > 0);
+    assert!(reg.counter_value("link_bytes", &[("tier", "h2d")]) > 0);
+    assert!(reg.counter_value("allgathers", &[]) > 0);
+    assert!(reg.counter_value("allocs", &[]) > 0);
+
+    let prom = reg.render_prometheus();
+    for needle in [
+        "# TYPE amped_launches_total counter",
+        "amped_nnz_processed_total",
+        "amped_als_iterations_total 3",
+        "amped_link_bytes_total{tier=\"h2d\"}",
+        "# TYPE amped_launch_blocks histogram",
+        "amped_launch_blocks_bucket{le=\"+Inf\"}",
+    ] {
+        assert!(prom.contains(needle), "missing `{needle}`:\n{prom}");
+    }
+}
+
+#[test]
+fn observed_als_is_bit_identical_to_unobserved() {
+    let t = tensor();
+    let spec = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+
+    let mut plain =
+        AmpedEngine::with_runtime(&t, Box::new(SimRuntime::new(spec.clone())), cfg()).unwrap();
+    let base = cp_als(&mut plain, &opts()).unwrap();
+
+    let reg = MetricsRegistry::new();
+    let rt = TracingRuntime::new(SimRuntime::new(spec).with_metrics(reg.clone()));
+    let tl = rt.timeline();
+    let mut observed = AmpedEngine::with_runtime(&t, Box::new(rt), cfg()).unwrap();
+    let traced = cp_als(&mut observed, &opts()).unwrap();
+
+    // Bit-identical numerics and simulated times under full observation.
+    assert_eq!(base.fits, traced.fits);
+    assert_eq!(base.lambda, traced.lambda);
+    assert_eq!(base.report.total_time, traced.report.total_time);
+    for (a, b) in base.factors.iter().zip(&traced.factors) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    // …and the observed run actually recorded spans: ops carry
+    // iteration/mode/shard paths, and the straggler report sees both GPUs.
+    let records = tl.snapshot();
+    assert!(!records.is_empty());
+    let launches: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == amped::runtime::OpKind::LaunchGrid)
+        .collect();
+    assert!(!launches.is_empty());
+    for l in &launches {
+        let path = l.span.render();
+        assert!(
+            path.starts_with("iteration=") && path.contains("/mode=") && path.contains("/shard="),
+            "launch span `{path}`"
+        );
+        assert!(l.blocks > 0, "launches carry their block count");
+        assert_eq!(l.bytes, 0, "launches do not fake byte counts");
+    }
+    let report = StragglerReport::from_timeline(&tl, 2);
+    assert_eq!(report.per_gpu.len(), 2);
+    assert!(report.total_busy().iter().all(|&b| b > 0.0));
+}
+
+#[test]
+fn straggler_report_feeds_the_rebalancing_planner() {
+    // Hand-build an imbalanced timeline: GPU 1's launches take 3× longer.
+    let mut rt = TracingRuntime::new(SimRuntime::new(
+        PlatformSpec::rtx6000_ada_node(2).scaled(1e-3),
+    ));
+    let tl = rt.timeline();
+    for _ in 0..4 {
+        rt.launch_grid(0, &|_| {}, &[1e-4; 2]);
+        rt.launch_grid(1, &|_| {}, &[3e-4; 2]);
+    }
+    let report = StragglerReport::from_timeline(&tl, 2);
+    assert!(report.imbalance_ratio() > 1.2, "{}", report.render());
+
+    // The busy totals drive RebalancingPlanner::observe directly.
+    let reg = MetricsRegistry::new();
+    let mut rb = RebalancingPlanner::new(Box::new(NnzCcp), 0.2).with_metrics(reg.clone());
+    let triggered = rb.observe(0, &report.total_busy(), &[100, 100]);
+    assert!(triggered, "3× imbalance must cross a 20% threshold");
+    assert_eq!(reg.counter_value("rebalance_triggers", &[]), 1);
+    let speeds = rb.observed_speeds(0).unwrap();
+    assert!(
+        speeds[0] > 2.0 * speeds[1],
+        "observed speeds should reflect the 3× gap: {speeds:?}"
+    );
+}
+
+#[test]
+fn ooc_run_records_chunk_metrics() {
+    let t = tensor();
+    let dir = std::env::temp_dir().join("amped_obs_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("obs.tnsb");
+    write_tnsb(&t, &path, 512).unwrap();
+    let budget = 512 * (t.elem_bytes() + t.order() as u64 * 4) * 2;
+
+    let reg = MetricsRegistry::new();
+    let spec = PlatformSpec::rtx6000_ada_node(2).scaled(1e-3);
+    let rt = SimRuntime::new(spec).with_metrics(reg.clone());
+    let mut e = OocEngine::with_runtime(&path, Box::new(rt), cfg(), budget).unwrap();
+    let mut rng = SmallRng::seed_from_u64(63);
+    let factors: Vec<Mat> = t
+        .shape()
+        .iter()
+        .map(|&d| Mat::random(d as usize, 8, &mut rng))
+        .collect();
+    e.mttkrp_mode(0, &factors).unwrap();
+
+    let chunks = e.meta().num_chunks() as u64;
+    assert_eq!(reg.counter_value("ooc_chunk_reads", &[]), chunks);
+    assert!(reg.counter_value("ooc_chunk_read_bytes", &[]) > 0);
+    assert_eq!(reg.counter_value("ooc_chunk_stalls", &[]), 0);
+    assert_eq!(reg.counter_value("nnz_processed", &[]), t.nnz() as u64);
+    assert_eq!(
+        reg.gauge("ooc_resident_bytes").get(),
+        0.0,
+        "all chunks released after the mode"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warn_once_registry_is_observable() {
+    // `warnings()` exposes the one-shot warning map; keys registered by
+    // other tests (e.g. AMPED_THREADS parse failures) are harmless — this
+    // only checks the mechanism through a key of its own.
+    amped::sim::obs::warn_once("obs-metrics-test", "first");
+    amped::sim::obs::warn_once("obs-metrics-test", "second (suppressed)");
+    let w = warnings();
+    let mine: Vec<&str> = w
+        .iter()
+        .filter(|(k, _)| k == "obs-metrics-test")
+        .map(|(_, m)| m.as_str())
+        .collect();
+    assert_eq!(mine, ["first"], "one entry, first message wins");
+}

@@ -1,0 +1,202 @@
+//! Property tests for the Chrome trace-event exporter: for arbitrary op
+//! sequences under arbitrary (well-scoped) span structures,
+//!
+//! 1. the rendered JSON round-trips through the `serde_json` shim parser
+//!    bit-for-bit, and
+//! 2. the exported slices are well-nested per track — any two `X` events on
+//!    the same `tid` are either disjoint or one contains the other — which
+//!    is what Perfetto requires to stack them.
+//!
+//! The span structure is driven by the generated script (iterations →
+//! modes → ops), mirroring how the ALS driver and engines open scopes.
+
+use amped::prelude::*;
+use amped::runtime::export::device_tid;
+use amped::runtime::OpKind;
+use proptest::prelude::*;
+use serde_json::Value;
+
+/// One scripted op: which GPU, which kind, and a size knob.
+#[derive(Clone, Debug)]
+struct ScriptOp {
+    gpu: usize,
+    kind: u8,
+    size: u64,
+}
+
+/// Direct [`Strategy`] implementation (the offline proptest shim has no
+/// `prop_map` combinator).
+struct OpStrategy {
+    gpus: usize,
+}
+
+impl Strategy for OpStrategy {
+    type Value = ScriptOp;
+    fn sample(&self, rng: &mut TestRng) -> ScriptOp {
+        use rand::Rng;
+        ScriptOp {
+            gpu: rng.gen_range(0..self.gpus),
+            kind: rng.gen_range(0u8..4),
+            size: rng.gen_range(1u64..2_000_000),
+        }
+    }
+}
+
+fn op_strategy(gpus: usize) -> OpStrategy {
+    OpStrategy { gpus }
+}
+
+/// Replays the script through a traced runtime: iterations → modes →
+/// ops, with span scopes opened exactly like the ALS driver does.
+fn run_script(script: &[Vec<Vec<ScriptOp>>], gpus: usize) -> Timeline {
+    let mut rt = TracingRuntime::new(SimRuntime::new(
+        PlatformSpec::rtx6000_ada_node(gpus).scaled(1e-3),
+    ));
+    let tl = rt.timeline();
+    for (i, iteration) in script.iter().enumerate() {
+        let _it = tl.span("iteration", i as u64);
+        for (m, ops) in iteration.iter().enumerate() {
+            let _mode = tl.span("mode", m as u64);
+            for op in ops {
+                match op.kind {
+                    0 => {
+                        rt.launch_grid(op.gpu, &|_| {}, &[1e-6; 3]);
+                    }
+                    1 => {
+                        rt.h2d_time(op.gpu, 1, op.size);
+                    }
+                    2 => {
+                        rt.d2h_time(op.gpu, 1, op.size);
+                    }
+                    _ => {
+                        rt.scatter_time(gpus, &vec![op.size; gpus]);
+                    }
+                }
+            }
+        }
+    }
+    tl
+}
+
+fn x_events(root: &Value) -> Vec<(u64, f64, f64)> {
+    let Value::Obj(fields) = root else {
+        panic!("root must be an object");
+    };
+    let Some((_, Value::Arr(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+        panic!("no traceEvents");
+    };
+    let get = |ev: &Value, key: &str| -> Option<Value> {
+        match ev {
+            Value::Obj(f) => f.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()),
+            _ => None,
+        }
+    };
+    events
+        .iter()
+        .filter(|e| matches!(get(e, "ph"), Some(Value::Str(s)) if s == "X"))
+        .map(|e| {
+            let tid = match get(e, "tid") {
+                Some(Value::Num(x)) => x as u64,
+                other => panic!("tid: {other:?}"),
+            };
+            let ts = match get(e, "ts") {
+                Some(Value::Num(x)) => x,
+                other => panic!("ts: {other:?}"),
+            };
+            let dur = match get(e, "dur") {
+                Some(Value::Num(x)) => x,
+                other => panic!("dur: {other:?}"),
+            };
+            (tid, ts, dur)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_chrome_trace_round_trips_and_nests(
+        script in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(op_strategy(3), 0..5),
+                1..3,
+            ),
+            1..3,
+        ),
+    ) {
+        let tl = run_script(&script, 3);
+        let v = chrome_trace(&tl);
+        let rendered = chrome_trace_string(&tl);
+
+        // 1. Round-trip through the shim parser is exact.
+        let back: Value = serde_json::from_str(&rendered)
+            .expect("exporter output must parse");
+        prop_assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&v).unwrap()
+        );
+
+        // 2. Per track, slices are pairwise disjoint or nested.
+        let xs = x_events(&v);
+        for (a_idx, &(tid_a, ts_a, dur_a)) in xs.iter().enumerate() {
+            for &(tid_b, ts_b, dur_b) in &xs[a_idx + 1..] {
+                if tid_a != tid_b {
+                    continue;
+                }
+                let (a0, a1) = (ts_a, ts_a + dur_a);
+                let (b0, b1) = (ts_b, ts_b + dur_b);
+                let eps = 1e-6; // µs-scale tolerance for f64 rounding
+                let disjoint = a1 <= b0 + eps || b1 <= a0 + eps;
+                let a_in_b = b0 <= a0 + eps && a1 <= b1 + eps;
+                let b_in_a = a0 <= b0 + eps && b1 <= a1 + eps;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "slices overlap without nesting on tid {}: [{}, {}] vs [{}, {}]",
+                    tid_a, a0, a1, b0, b1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_span_paths_on_records_match_the_open_scopes(
+        script in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(op_strategy(2), 1..4),
+                1..3,
+            ),
+            1..3,
+        ),
+    ) {
+        let tl = run_script(&script, 2);
+        for r in tl.snapshot() {
+            // Every recorded op was issued under iteration/mode scopes: its
+            // span path must be exactly two labels deep with those keys.
+            prop_assert_eq!(r.span.depth(), 2, "span {}", r.span.render());
+            let labels = r.span.labels();
+            prop_assert_eq!(labels[0].key, "iteration");
+            prop_assert_eq!(labels[1].key, "mode");
+        }
+    }
+}
+
+/// Host-track ops (scatters) still export with tid 0 and nest correctly —
+/// a deterministic spot check of the device_tid convention.
+#[test]
+fn host_ops_land_on_tid_zero() {
+    let mut rt = TracingRuntime::new(SimRuntime::new(
+        PlatformSpec::rtx6000_ada_node(2).scaled(1e-3),
+    ));
+    let tl = rt.timeline();
+    {
+        let _it = tl.span("iteration", 0);
+        rt.scatter_time(2, &[1000, 1000]);
+    }
+    assert_eq!(device_tid(Device::Host), 0);
+    assert_eq!(device_tid(Device::Gpu(3)), 4);
+    let records = tl.snapshot();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].kind, OpKind::Scatter);
+    assert_eq!(records[0].device, Device::Host);
+}
