@@ -18,6 +18,12 @@
 //! so CI can gate on it: e.g. the parallel elementwise kernel must beat the
 //! sequential oracle.
 //!
+//! `--assert-faster=<entry>` (single name, repeatable) is the *cross-snapshot*
+//! form: the after-snapshot's median for `<entry>` must be strictly smaller
+//! than the before-snapshot's. This is the one cross-machine gate CI takes:
+//! committed snapshots come from comparable CI hosts, and a PR that claims a
+//! speedup for a named row must actually deliver it there.
+//!
 //! `--assert-within=<entry>,<baseline>,<pct>` (repeatable) is the same-run
 //! overhead gate: entry `<entry>` must have a median no more than `<pct>`
 //! percent above `<baseline>`'s. CI uses it to hold the instrumented MTTKRP
@@ -96,7 +102,7 @@ fn run(
     before_path: &str,
     after_path: &str,
     fail_on_regression: bool,
-    assert_faster: &[(String, String)],
+    assert_faster: &[(String, Option<String>)],
     assert_within: &[(String, String, f64)],
 ) -> Result<ExitCode, String> {
     let before = load_snapshot(before_path)?;
@@ -209,17 +215,33 @@ fn run(
             .find(|(n, _)| n == fast)
             .ok_or_else(|| format!("--assert-faster: `{fast}` not in {after_path}"))?
             .1;
-        let s = after
-            .entries
-            .iter()
-            .find(|(n, _)| n == slow)
-            .ok_or_else(|| format!("--assert-faster: `{slow}` not in {after_path}"))?
-            .1;
+        let (s, slow_desc) = match slow {
+            // Two-name form: both medians from the after-snapshot.
+            Some(slow) => {
+                let s = after
+                    .entries
+                    .iter()
+                    .find(|(n, _)| n == slow)
+                    .ok_or_else(|| format!("--assert-faster: `{slow}` not in {after_path}"))?
+                    .1;
+                (s, format!("`{slow}`"))
+            }
+            // Single-name form: after must beat before for the same row.
+            None => {
+                let s = before
+                    .entries
+                    .iter()
+                    .find(|(n, _)| n == fast)
+                    .ok_or_else(|| format!("--assert-faster: `{fast}` not in {before_path}"))?
+                    .1;
+                (s, format!("`{fast}` in `{}`", before.label))
+            }
+        };
         if f < s {
-            println!("assert-faster: `{fast}` beats `{slow}` ({:.2}x)", s / f);
+            println!("assert-faster: `{fast}` beats {slow_desc} ({:.2}x)", s / f);
         } else {
             println!(
-                "assert-faster FAILED: `{fast}` ({:.3} ms) is not faster than `{slow}` ({:.3} ms)",
+                "assert-faster FAILED: `{fast}` ({:.3} ms) is not faster than {slow_desc} ({:.3} ms)",
                 f * 1e3,
                 s * 1e3
             );
@@ -236,11 +258,19 @@ fn main() -> ExitCode {
     let mut assert_within = Vec::new();
     for a in &args {
         if let Some(pair) = a.strip_prefix("--assert-faster=") {
-            let Some((fast, slow)) = pair.split_once(',') else {
-                eprintln!("bench_diff: --assert-faster expects `<fast>,<slow>`, got `{pair}`");
-                return ExitCode::FAILURE;
-            };
-            assert_faster.push((fast.to_string(), slow.to_string()));
+            match pair.split_once(',') {
+                Some((fast, slow)) => {
+                    assert_faster.push((fast.to_string(), Some(slow.to_string())))
+                }
+                None if !pair.is_empty() => assert_faster.push((pair.to_string(), None)),
+                None => {
+                    eprintln!(
+                        "bench_diff: --assert-faster expects `<fast>,<slow>` or `<entry>`, got \
+                         an empty value"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         if let Some(triple) = a.strip_prefix("--assert-within=") {
             let parts: Vec<&str> = triple.split(',').collect();
@@ -265,7 +295,7 @@ fn main() -> ExitCode {
     let [before, after] = paths.as_slice() else {
         eprintln!(
             "usage: bench_diff <before.json> <after.json> [--fail-on-regression] \
-             [--assert-faster=<fast>,<slow>] [--assert-within=<entry>,<baseline>,<pct>]"
+             [--assert-faster=<fast>[,<slow>]] [--assert-within=<entry>,<baseline>,<pct>]"
         );
         return ExitCode::FAILURE;
     };

@@ -106,23 +106,16 @@ fn main() {
             }),
             Some(nnz),
         );
-        let parallel = median_secs(REPS, || {
-            mttkrp_privatized(&t, &factors, 0);
-        });
+        // The `ec_kernel/parallel_atomic/r32` compatibility alias (a
+        // byte-identical duplicate of this row kept across the kernel
+        // rename) was dropped once the trajectory had two snapshots of the
+        // successor to diff against.
         push(
             &mut table,
             "ec_kernel/parallel_privatized/r32",
-            parallel,
-            Some(nnz),
-        );
-        // Compatibility row: the atomic-emulation kernel was retired in
-        // favor of the privatized merge; keep its old name pointing at the
-        // successor so `bench_diff` can track the trajectory across the
-        // rename.
-        push(
-            &mut table,
-            "ec_kernel/parallel_atomic/r32",
-            parallel,
+            median_secs(REPS, || {
+                mttkrp_privatized(&t, &factors, 0);
+            }),
             Some(nnz),
         );
     }
@@ -150,6 +143,20 @@ fn main() {
             "partition/single_mode/200k",
             median_secs(REPS, || {
                 ModePlan::build(&t, 0, 4, 1 << 20);
+            }),
+            Some(nnz),
+        );
+        // All three modes built serially: the within-snapshot comparator
+        // for the parallel all-modes row (same work, no worker pool), so CI
+        // can assert the fan-out never costs more than the serial loop on
+        // the machine that produced the snapshot.
+        push(
+            &mut table,
+            "partition/single_mode_x3/200k",
+            median_secs(REPS, || {
+                for d in 0..3 {
+                    ModePlan::build(&t, d, 4, 1 << 20);
+                }
             }),
             Some(nnz),
         );
@@ -587,6 +594,7 @@ fn main() {
             "label": name,
             "reps": REPS,
             "method": "median wall time after one warm-up",
+            "host_workers": amped_sim::host_workers() as u64,
         }),
     );
 }

@@ -10,13 +10,15 @@
 
 use crate::config::{AmpedConfig, GatherAlgo, SchedulePolicy};
 use amped_linalg::Mat;
-use amped_partition::{isp_ranges, ModePlan, PartitionPlan, ShardStats};
+use amped_partition::{isp_ranges, plan_modes, ModePlan, PartitionPlan, ShardStats};
 use amped_plan::{
     AssignmentSpace, CostQuery, ModeAssignment, NnzCcp, Partitioner, PlanStats, PlatformCostQuery,
     UniformCost, WorkloadProfile,
 };
 use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
-use amped_runtime::{Collective, Device, DeviceRuntime, FactorBlock, SimRuntime, Timeline};
+use amped_runtime::{
+    Collective, Device, DeviceRuntime, FactorBlock, SimRuntime, Timeline, TuneParams,
+};
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
 use amped_sim::obs::{Counter, MetricsRegistry};
@@ -182,6 +184,38 @@ impl AmpedEngine {
         Self::with_planner(tensor, runtime, cfg, &NnzCcp)
     }
 
+    /// [`AmpedEngine::with_runtime`] plus autotuning: after construction the
+    /// [`amped_tune::Autotuner`] resolves [`TuneParams`] for this tensor and
+    /// backend (a persistent-cache hit, or a subsampled grid search) and
+    /// installs them on the runtime. The tuner's `tune_searches` /
+    /// `tune_cache_hits` counters bind to the runtime's metrics registry.
+    pub fn with_tuner(
+        tensor: &SparseTensor,
+        runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+        tuner: &mut amped_tune::Autotuner,
+    ) -> Result<Self, SimError> {
+        let rank = cfg.rank;
+        let mut engine = Self::with_runtime(tensor, runtime, cfg)?;
+        tuner.attach_metrics(&engine.runtime.metrics());
+        let backend = amped_tune::backend_fingerprint(engine.runtime.name());
+        let params = tuner.params_for_tensor(&backend, tensor, rank);
+        engine.set_tune(params);
+        Ok(engine)
+    }
+
+    /// The autotuned convenience constructor: [`AmpedEngine::new`] driven by
+    /// an [`amped_tune::Autotuner::from_env`] tuner (persistent cache at
+    /// `AMPED_TUNE_CACHE` when set, in-memory otherwise).
+    pub fn tuned(
+        tensor: &SparseTensor,
+        platform: PlatformSpec,
+        cfg: AmpedConfig,
+    ) -> Result<Self, SimError> {
+        let mut tuner = amped_tune::Autotuner::from_env();
+        Self::with_tuner(tensor, Box::new(SimRuntime::new(platform)), cfg, &mut tuner)
+    }
+
     /// Partitions `tensor` through an explicit runtime **and** an explicit
     /// [`Partitioner`] policy — the planner seam. The planner receives each
     /// mode's output-index histogram plus a [`PlatformCostQuery`] over the
@@ -282,6 +316,18 @@ impl AmpedEngine {
     /// The device runtime the engine executes through.
     pub fn runtime(&self) -> &dyn DeviceRuntime {
         self.runtime.as_ref()
+    }
+
+    /// The runtime's tunable execution parameters.
+    pub fn tune(&self) -> TuneParams {
+        self.runtime.tune()
+    }
+
+    /// Sets the runtime's tunable execution parameters. Every setting is
+    /// numerics-transparent (see `amped_runtime::params`); only wall time
+    /// changes.
+    pub fn set_tune(&mut self, params: TuneParams) {
+        self.runtime.set_tune(params);
     }
 
     /// The engine configuration.
@@ -624,8 +670,11 @@ fn build_partition_plan(
     let stats = PlanStats {
         nnz: tensor.nnz() as u64,
     };
-    let mut modes = Vec::with_capacity(tensor.order());
-    for d in 0..tensor.order() {
+    // Modes are planned concurrently on the host worker pool (`plan_modes`);
+    // each mode's histogram, planner call, counting sort, and shard
+    // statistics are independent, and results land in mode order, so the
+    // product is bit-identical to the serial loop.
+    let modes = plan_modes(tensor.order(), |d| {
         let hist = tensor.mode_hist(d);
         let a = planner
             .plan_mode(d, &hist, &stats, cost.as_ref())
@@ -639,14 +688,14 @@ fn build_partition_plan(
         }
         a.validate(tensor.dim(d) as u64)
             .map_err(SimError::Unsupported)?;
-        modes.push(ModePlan::build_with_ranges_hist(
+        Ok(ModePlan::build_with_ranges_hist(
             tensor,
             d,
             &hist,
             a.index_ranges(),
             cfg.shard_nnz_budget,
-        ));
-    }
+        ))
+    })?;
     Ok(PartitionPlan {
         modes,
         preprocess_wall: start.elapsed().as_secs_f64(),

@@ -4,7 +4,9 @@
 //! copy per mode in host memory. [`OocEngine`] instead drives the
 //! `amped-stream` pipeline: the tensor lives on disk as fixed-capacity
 //! chunks, a bounded host staging budget (an [`amped_sim::MemPool`]) holds
-//! one chunk at a time, and each chunk is scattered host→GPU with every GPU
+//! the resident chunk — plus up to [`TuneParams::prefetch_depth`] chunks a
+//! background reader thread stages ahead while the current chunk computes —
+//! and each chunk is scattered host→GPU with every GPU
 //! pulling the slice whose output rows it owns (the streaming plan's CCP
 //! device ranges guarantee no output row spans two GPUs, so intra-GPU
 //! atomics still suffice). Timing reuses the same cost model as the in-core
@@ -18,7 +20,11 @@
 //! tensor too large for the *budget* still decomposes (chunks rotate through
 //! the staging area), while a budget too small for even one chunk fails
 //! with the same out-of-memory arithmetic as every other capacity limit in
-//! the simulator.
+//! the simulator. Prefetching is priced against the same budget: a staged
+//! chunk the budget cannot hold is a recorded stall (`ooc_chunk_stalls`)
+//! that narrows the prefetch window for that round, and a budget that can
+//! never hold two consecutive chunks warns once and runs the blocking loop
+//! — overlap is a perf upgrade, never a correctness or capacity change.
 //!
 //! Like the in-core engine, every kernel launch, transfer, collective, and
 //! device allocation goes through the [`DeviceRuntime`] seam.
@@ -31,12 +37,15 @@ use amped_plan::{
     AssignmentSpace, ModeAssignment, NnzCcp, Partitioner, PlatformCostQuery, WorkloadProfile,
 };
 use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
-use amped_runtime::{Device, DeviceRuntime, SimRuntime};
+use amped_runtime::{Device, DeviceRuntime, SimRuntime, Timeline, TuneParams};
 use amped_sim::costmodel::{BlockStats, CostModel};
+use amped_sim::obs::{warn_once, Counter};
 use amped_sim::{MemPool, PlatformSpec, SimError, TimeBreakdown};
-use amped_stream::{ChunkReader, StreamPlan, TnsbMeta};
+use amped_stream::{Chunk, ChunkReader, StagedRead, StreamError, StreamPlan, TnsbMeta};
 use amped_tensor::Idx;
+use std::collections::VecDeque;
 use std::path::Path;
+use std::sync::mpsc;
 
 /// The out-of-core AMPED engine: same algorithmic skeleton as the in-core
 /// engine (mode loop → scatter/stream → grids → barrier → all-gather), but
@@ -89,6 +98,52 @@ impl OocEngine {
         stage_budget_bytes: u64,
     ) -> Result<Self, SimError> {
         Self::with_planner(path, runtime, cfg, stage_budget_bytes, &NnzCcp)
+    }
+
+    /// [`OocEngine::with_runtime`] plus autotuning: the
+    /// [`amped_tune::Autotuner`] resolves [`TuneParams`] from the `.tnsb`
+    /// footer statistics alone (a cache hit, or a grid search on a probe
+    /// synthesized to those statistics — the payload itself may not fit in
+    /// memory) and installs them on the runtime.
+    pub fn with_tuner(
+        path: impl AsRef<Path>,
+        runtime: Box<dyn DeviceRuntime>,
+        cfg: AmpedConfig,
+        stage_budget_bytes: u64,
+        tuner: &mut amped_tune::Autotuner,
+    ) -> Result<Self, SimError> {
+        let rank = cfg.rank;
+        let mut engine = Self::with_runtime(path, runtime, cfg, stage_budget_bytes)?;
+        tuner.attach_metrics(&engine.runtime.metrics());
+        let backend = amped_tune::backend_fingerprint(engine.runtime.name());
+        let meta = engine.reader.meta();
+        let stats = amped_tune::TensorStats {
+            dims: meta.shape.clone(),
+            nnz: meta.nnz,
+            rank,
+        };
+        let params = tuner.params_for_stats(&backend, &stats);
+        engine.set_tune(params);
+        Ok(engine)
+    }
+
+    /// The autotuned convenience constructor: [`OocEngine::open`] driven by
+    /// an [`amped_tune::Autotuner::from_env`] tuner (persistent cache at
+    /// `AMPED_TUNE_CACHE` when set, in-memory otherwise).
+    pub fn tuned(
+        path: impl AsRef<Path>,
+        platform: PlatformSpec,
+        cfg: AmpedConfig,
+        stage_budget_bytes: u64,
+    ) -> Result<Self, SimError> {
+        let mut tuner = amped_tune::Autotuner::from_env();
+        Self::with_tuner(
+            path,
+            Box::new(SimRuntime::new(platform)),
+            cfg,
+            stage_budget_bytes,
+            &mut tuner,
+        )
     }
 
     /// Opens a `.tnsb` tensor through an explicit runtime **and** an
@@ -189,6 +244,19 @@ impl OocEngine {
     /// The engine configuration.
     pub fn config(&self) -> &AmpedConfig {
         &self.cfg
+    }
+
+    /// The runtime's tunable execution parameters (prefetch depth, rank
+    /// tile, worker count).
+    pub fn tune(&self) -> TuneParams {
+        self.runtime.tune()
+    }
+
+    /// Sets the runtime's tunable execution parameters. Every setting is
+    /// numerics-transparent: factors are bit-identical across prefetch
+    /// depths and rank tiles; only wall time and overlap change.
+    pub fn set_tune(&mut self, params: TuneParams) {
+        self.runtime.set_tune(params);
     }
 
     /// Peak GPU memory charged, in bytes (max over GPUs).
@@ -330,17 +398,58 @@ impl OocEngine {
         let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
         let tl = runtime.timeline();
         let nnz_counter = runtime.metrics().counter("nnz_processed");
-        for k in 0..num_chunks {
-            // Out of core the streamed chunk is the shard-level region.
-            let _chunk_span = tl.as_ref().map(|t| t.span("shard", k as u64));
-            let chunk = reader.load_chunk(k).map_err(|e| e.into_sim())?;
+        let prefetch_hits = runtime.metrics().counter("ooc_prefetch_hits");
+
+        // Prefetch policy: the runtime's tunables ask for up to
+        // `effective_prefetch()` chunks staged ahead of the one computing.
+        // A budget that can never hold two consecutive chunks at once would
+        // stall on every stage — warn once and run the blocking loop.
+        let mut depth = runtime
+            .tune()
+            .effective_prefetch()
+            .min(num_chunks.saturating_sub(1));
+        if depth > 0 {
+            let capacity = reader.budget().capacity();
+            let can_double = (0..num_chunks - 1).any(|k| {
+                reader.meta().chunk_bytes(k) + reader.meta().chunk_bytes(k + 1) <= capacity
+            });
+            if !can_double {
+                warn_once(
+                    "ooc-single-buffer",
+                    "OOC prefetch requested but the staging budget fits only one resident \
+                     chunk; running the blocking chunk loop instead",
+                );
+                depth = 0;
+            }
+        }
+
+        let exec_chunk = |runtime: &mut dyn DeviceRuntime, chunk: &Chunk| {
             nnz_counter.add(chunk.nnz() as u64);
             let isps = isp_ranges(0..chunk.nnz(), cfg.isp_nnz);
             let src = FnSource::new(|e, m| chunk.coords(e)[m], |e| chunk.value(e));
             // Zero costs: simulated time comes from the slice model above.
             let costs = vec![0.0f64; isps.len()];
             launch_mttkrp(runtime, 0, &src, d, &fviews, &isps, &costs, &out);
-            reader.release(chunk);
+        };
+
+        if depth == 0 {
+            for k in 0..num_chunks {
+                // Out of core the streamed chunk is the shard-level region.
+                let _chunk_span = tl.as_ref().map(|t| t.span("shard", k as u64));
+                let chunk = reader.load_chunk(k).map_err(|e| e.into_sim())?;
+                exec_chunk(runtime, &chunk);
+                reader.release(chunk);
+            }
+        } else {
+            pipeline_chunks(
+                runtime,
+                reader,
+                num_chunks,
+                depth,
+                tl.as_ref(),
+                &prefetch_hits,
+                exec_chunk,
+            )?;
         }
 
         // --- Barrier + per-GPU breakdown.
@@ -386,6 +495,139 @@ impl OocEngine {
             per_gpu,
         };
         Ok((result, timing))
+    }
+}
+
+/// The double-buffered chunk loop: chunk reads run on one background thread
+/// while the main thread computes, with every budget decision staying on
+/// the main thread (the staging [`MemPool`] is not shared).
+///
+/// Protocol: [`ChunkReader::stage`] reserves budget here and hands the
+/// `Send`-able [`StagedRead`] to the reader thread over a channel; results
+/// come back FIFO, so the order of staged requests *is* the order of
+/// results. The window is topped up to `depth` chunks beyond the one about
+/// to execute; a budget stall narrows the window for that round (counted in
+/// `ooc_chunk_stalls`) and staging retries next iteration, so a mid-run
+/// squeeze degrades to the blocking cadence instead of failing. Chunks are
+/// executed strictly in index order, so factors are bit-identical to the
+/// blocking loop at every depth.
+///
+/// Mirrors the device-side `cp.async` double-buffer pattern (prefetch tile
+/// `i+1` while tile `i` computes) with a host thread standing in for the
+/// async copy engine.
+fn pipeline_chunks<F>(
+    runtime: &mut dyn DeviceRuntime,
+    reader: &mut ChunkReader,
+    num_chunks: usize,
+    depth: usize,
+    tl: Option<&Timeline>,
+    prefetch_hits: &Counter,
+    exec_chunk: F,
+) -> Result<(), SimError>
+where
+    F: Fn(&mut dyn DeviceRuntime, &Chunk),
+{
+    let result = crossbeam::thread::scope(|s| {
+        let (req_tx, req_rx) = mpsc::channel::<StagedRead>();
+        let (res_tx, res_rx) = mpsc::channel::<Result<Chunk, StreamError>>();
+        s.spawn(move |_| {
+            for staged in req_rx.iter() {
+                if res_tx.send(staged.read()).is_err() {
+                    break;
+                }
+            }
+        });
+        // Staged reads not yet received back, in stage (= result) order.
+        let mut in_flight: VecDeque<(usize, u64)> = VecDeque::new();
+        let mut next_stage = 0usize;
+        let mut outcome = Ok(());
+        'chunks: for k in 0..num_chunks {
+            // Out of core the streamed chunk is the shard-level region.
+            let _chunk_span = tl.map(|t| t.span("shard", k as u64));
+            // Top up the prefetch window before waiting on chunk `k`, so
+            // the reader thread always has queued work to overlap with the
+            // compute below.
+            while next_stage < num_chunks && next_stage <= k + depth {
+                match reader.stage(next_stage) {
+                    Ok(staged) => {
+                        in_flight.push_back((next_stage, staged.bytes()));
+                        req_tx.send(staged).expect("prefetch reader thread alive");
+                        next_stage += 1;
+                    }
+                    Err(e) => {
+                        if in_flight.is_empty() && next_stage == k {
+                            // Nothing staged and nothing resident: even one
+                            // chunk does not fit — a genuine OOM, exactly as
+                            // the blocking loop would report it.
+                            outcome = Err(e.into_sim());
+                            break 'chunks;
+                        }
+                        // Benign stall: the window narrows this round.
+                        break;
+                    }
+                }
+            }
+            let mut prefetched = false;
+            let chunk = if in_flight.front().map(|f| f.0) == Some(k) {
+                let (_, bytes) = in_flight.pop_front().expect("front checked");
+                match res_rx.recv() {
+                    Ok(Ok(chunk)) => {
+                        reader.finish_stage(&chunk);
+                        prefetch_hits.inc();
+                        prefetched = true;
+                        chunk
+                    }
+                    Ok(Err(e)) => {
+                        reader.fail_stage(bytes);
+                        outcome = Err(e.into_sim());
+                        break 'chunks;
+                    }
+                    Err(_) => {
+                        reader.fail_stage(bytes);
+                        outcome = Err(SimError::Unsupported(
+                            "prefetch reader thread disconnected".into(),
+                        ));
+                        break 'chunks;
+                    }
+                }
+            } else {
+                // Chunk `k` never got staged: fall back to the synchronous
+                // load for this round.
+                match reader.load_chunk(k) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        outcome = Err(e.into_sim());
+                        break 'chunks;
+                    }
+                }
+            };
+            {
+                // Launches of an overlapped chunk carry a `prefetched` span
+                // segment, so the timeline shows which chunks hid their I/O.
+                let _overlap = if prefetched {
+                    tl.map(|t| t.span("prefetched", 1))
+                } else {
+                    None
+                };
+                exec_chunk(runtime, &chunk);
+            }
+            reader.release(chunk);
+        }
+        // Settle any outstanding reservations (non-empty only on error):
+        // close the request channel, then drain results so every staged
+        // byte returns to the budget.
+        drop(req_tx);
+        for (_, bytes) in in_flight.drain(..) {
+            match res_rx.recv() {
+                Ok(Ok(chunk)) => reader.release(chunk),
+                _ => reader.fail_stage(bytes),
+            }
+        }
+        outcome
+    });
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }
 
@@ -576,6 +818,135 @@ mod tests {
             assert_eq!(a.compute, b.compute);
             assert_eq!(a.h2d, b.h2d);
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pipelined_factors_bit_identical_across_prefetch_depths() {
+        let t = GenSpec {
+            shape: vec![60, 50, 40],
+            nnz: 4000,
+            skew: vec![0.6, 0.0, 0.3],
+            seed: 95,
+        }
+        .generate();
+        let path = tmp("depths.tnsb");
+        write_tnsb(&t, &path, 400).unwrap();
+        let fs = factors(&t, 8, 96);
+        let b = budget_for(&t, 400);
+        let mut outputs: Vec<Vec<u32>> = Vec::new();
+        for depth in [0usize, 1, 2] {
+            let reg = amped_sim::obs::MetricsRegistry::new();
+            let rt = SimRuntime::new(platform(3)).with_metrics(reg);
+            let mut e = OocEngine::with_runtime(&path, Box::new(rt), cfg(8), b).unwrap();
+            e.set_tune(TuneParams {
+                prefetch_depth: depth,
+                ooc_chunk_budget: depth + 1,
+                ..Default::default()
+            });
+            let mut bits = Vec::new();
+            for d in 0..3 {
+                let (out, _) = e.mttkrp_mode(d, &fs).unwrap();
+                assert!(
+                    out.approx_eq(&mttkrp_ref(&t, &fs, d), 1e-3, 1e-4),
+                    "depth {depth} mode {d} diverged from the in-core oracle"
+                );
+                bits.extend(out.as_slice().iter().map(|v| v.to_bits()));
+            }
+            assert_eq!(e.reader.budget().used(), 0, "depth {depth} leaked budget");
+            if depth > 0 {
+                assert!(
+                    e.metrics().counter_value("ooc_prefetch_hits", &[]) > 0,
+                    "depth {depth} never used the pipeline"
+                );
+            }
+            outputs.push(bits);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "depth 1 must be bit-identical to the blocking loop"
+        );
+        assert_eq!(
+            outputs[0], outputs[2],
+            "depth 2 must be bit-identical to the blocking loop"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pipeline_narrows_on_mid_run_stall_and_stays_exact() {
+        // Chunks of 100/100/50 elements with a budget of 175 elements: the
+        // first prefetch of chunk 1 next to resident chunk 0 stalls (200
+        // elements), later pairs fit (150) — the window narrows mid-run and
+        // recovers, and the factors still match the blocking loop exactly.
+        let t = GenSpec::uniform(vec![40, 30, 20], 250, 97).generate();
+        let path = tmp("midrun.tnsb");
+        write_tnsb(&t, &path, 100).unwrap();
+        let fs = factors(&t, 8, 98);
+        let budget = 175 * t.elem_bytes();
+        let base = {
+            let mut e = OocEngine::open(&path, platform(2), cfg(8), budget).unwrap();
+            e.set_tune(TuneParams {
+                prefetch_depth: 0,
+                ..Default::default()
+            });
+            e.mttkrp_mode(0, &fs).unwrap().0
+        };
+        let reg = amped_sim::obs::MetricsRegistry::new();
+        let rt = SimRuntime::new(platform(2)).with_metrics(reg);
+        let mut e = OocEngine::with_runtime(&path, Box::new(rt), cfg(8), budget).unwrap();
+        e.set_tune(TuneParams {
+            prefetch_depth: 1,
+            ooc_chunk_budget: 2,
+            ..Default::default()
+        });
+        let stalls_before = e.metrics().counter_value("ooc_chunk_stalls", &[]);
+        let (out, _) = e.mttkrp_mode(0, &fs).unwrap();
+        assert!(
+            e.metrics().counter_value("ooc_chunk_stalls", &[]) > stalls_before,
+            "the squeezed budget must record at least one prefetch stall"
+        );
+        assert_eq!(
+            e.reader.budget().used(),
+            0,
+            "stalled pipeline leaked budget"
+        );
+        for (a, b) in base.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn single_buffer_budget_warns_once_and_falls_back() {
+        // Three equal 100-element chunks and a budget of 185 elements
+        // (enough for one chunk plus planning scratch, never for two
+        // chunks): prefetch can never overlap — the engine warns once
+        // (process-wide) and runs the blocking loop.
+        let t = GenSpec::uniform(vec![40, 30, 20], 300, 99).generate();
+        let path = tmp("singlebuf.tnsb");
+        write_tnsb(&t, &path, 100).unwrap();
+        let fs = factors(&t, 8, 100);
+        let budget = 185 * t.elem_bytes();
+        let reg = amped_sim::obs::MetricsRegistry::new();
+        let rt = SimRuntime::new(platform(2)).with_metrics(reg);
+        let mut e = OocEngine::with_runtime(&path, Box::new(rt), cfg(8), budget).unwrap();
+        assert_eq!(e.tune().effective_prefetch(), 1, "default asks for overlap");
+        // Two runs, one warning: warn_once dedupes on the key.
+        let (out, _) = e.mttkrp_mode(0, &fs).unwrap();
+        let _ = e.mttkrp_mode(1, &fs).unwrap();
+        let hits = amped_sim::obs::warnings()
+            .iter()
+            .filter(|(k, _)| k == "ooc-single-buffer")
+            .count();
+        assert_eq!(hits, 1, "single-buffer warning must fire exactly once");
+        assert_eq!(
+            e.metrics().counter_value("ooc_prefetch_hits", &[]),
+            0,
+            "fallback must not route chunks through the pipeline"
+        );
+        assert!(out.approx_eq(&mttkrp_ref(&t, &fs, 0), 1e-3, 1e-4));
+        assert_eq!(e.reader.budget().used(), 0);
         std::fs::remove_file(path).ok();
     }
 

@@ -3,6 +3,7 @@
 use amped_linalg::Mat;
 use amped_runtime::kernels::{even_blocks, mttkrp_host, FactorsView, FnSource, MttkrpOut};
 use amped_runtime::smexec::host_workers;
+use amped_runtime::TuneParams;
 use amped_tensor::SparseTensor;
 
 /// Sequential COO MTTKRP with `f64` accumulation:
@@ -49,7 +50,11 @@ pub fn mttkrp_privatized(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat 
     let blocks = even_blocks(t.nnz(), workers);
     let src = FnSource::new(|e, m| t.idx(e, m), |e| t.value(e));
     let views = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), r);
-    mttkrp_host(&src, mode, &views, &blocks, workers, &out);
+    let tune = TuneParams {
+        workers,
+        ..Default::default()
+    };
+    mttkrp_host(&src, mode, &views, &blocks, &tune, &out);
     Mat::from_vec(rows, r, out.to_vec())
 }
 

@@ -33,5 +33,5 @@ pub mod shard;
 
 pub use ccp::{chains_on_chains, check_index_space, try_chains_on_chains, CcpError};
 pub use equal::EqualPlan;
-pub use plan::PartitionPlan;
-pub use shard::{isp_ranges, ModePlan, Shard, ShardStats};
+pub use plan::{plan_modes, PartitionPlan};
+pub use shard::{isp_ranges, ModePlan, Shard, ShardStats, StatsScratch};

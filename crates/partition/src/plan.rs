@@ -1,7 +1,45 @@
 //! All-mode partition plans and preprocessing measurement (Fig. 10).
 
 use crate::shard::ModePlan;
+use amped_sim::host_workers;
 use amped_tensor::SparseTensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runs `build(d)` for every mode `0..order`, fanning out over the host
+/// worker pool when it helps (modes are independent: each sorts its own
+/// tensor copy and computes its own shard statistics). Results land in mode
+/// order regardless of completion order, so the parallel product is
+/// identical to the serial one. Serial when the pool or the mode count is 1.
+pub fn plan_modes<T, E, F>(order: usize, build: F) -> Result<Vec<T>, E>
+where
+    T: Send + Sync,
+    E: Send + Sync,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = host_workers().min(order);
+    if workers <= 1 {
+        return (0..order).map(build).collect();
+    }
+    let slots: Vec<OnceLock<Result<T, E>>> = (0..order).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let d = next.fetch_add(1, Ordering::Relaxed);
+                if d >= order {
+                    break;
+                }
+                let _ = slots[d].set(build(d));
+            });
+        }
+    })
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every mode planned"))
+        .collect()
+}
 
 /// The complete AMPED preprocessing product: one [`ModePlan`] per output mode
 /// (the paper keeps one tensor copy per mode in host memory, §3.1), plus the
@@ -17,12 +55,16 @@ pub struct PartitionPlan {
 
 impl PartitionPlan {
     /// Builds plans for every output mode of `t` on `num_gpus` GPUs with the
-    /// given shard size budget.
+    /// given shard size budget. Modes are planned concurrently on the host
+    /// worker pool (each mode's counting sort and shard statistics are
+    /// independent); the result is mode-ordered and bit-identical to the
+    /// serial loop.
     pub fn build(t: &SparseTensor, num_gpus: usize, shard_nnz_budget: usize) -> Self {
         let start = std::time::Instant::now();
-        let modes = (0..t.order())
-            .map(|d| ModePlan::build(t, d, num_gpus, shard_nnz_budget))
-            .collect();
+        let modes: Vec<ModePlan> = plan_modes(t.order(), |d| {
+            Ok::<_, std::convert::Infallible>(ModePlan::build(t, d, num_gpus, shard_nnz_budget))
+        })
+        .unwrap_or_else(|e| match e {});
         Self {
             modes,
             preprocess_wall: start.elapsed().as_secs_f64(),
@@ -65,5 +107,49 @@ mod tests {
         let t = GenSpec::uniform(vec![10, 10, 10, 10, 10], 500, 12).generate();
         let p = PartitionPlan::build(&t, 2, 100);
         assert_eq!(p.modes.len(), 5);
+    }
+
+    /// The pool-parallel all-modes build must be indistinguishable from
+    /// calling [`ModePlan::build`] serially per mode — same ranges, same
+    /// shards, same statistics, same sorted tensor copies — on any worker
+    /// count this host happens to run.
+    #[test]
+    fn parallel_build_matches_serial_mode_builds() {
+        let t = GenSpec {
+            shape: vec![48, 32, 20, 12],
+            nnz: 5000,
+            skew: vec![0.6, 0.0, 0.0, 0.0],
+            seed: 21,
+        }
+        .generate();
+        let p = PartitionPlan::build(&t, 3, 300);
+        for d in 0..t.order() {
+            let serial = ModePlan::build(&t, d, 3, 300);
+            let mp = &p.modes[d];
+            assert_eq!(mp.mode, d);
+            assert_eq!(mp.device_ranges, serial.device_ranges);
+            assert_eq!(mp.shards.len(), serial.shards.len());
+            for (a, b) in mp.shards.iter().zip(&serial.shards) {
+                assert_eq!(a.gpu, b.gpu);
+                assert_eq!(a.index_range, b.index_range);
+                assert_eq!(a.elem_range, b.elem_range);
+                assert_eq!(a.stats, b.stats);
+            }
+            assert_eq!(mp.tensor.indices_flat(), serial.tensor.indices_flat());
+        }
+    }
+
+    #[test]
+    fn plan_modes_orders_results_and_propagates_errors() {
+        let got: Vec<usize> = plan_modes(8, |d| Ok::<_, String>(d * d)).unwrap();
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        let err = plan_modes::<usize, String, _>(8, |d| {
+            if d == 5 {
+                Err("boom".to_string())
+            } else {
+                Ok(d)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "boom");
     }
 }

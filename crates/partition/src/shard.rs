@@ -45,6 +45,31 @@ impl ShardStats {
         )
     }
 
+    /// [`ShardStats::compute`] through a reusable [`StatsScratch`]: `O(k)`
+    /// per call via epoch-marked counting arrays instead of `O(k log k)`
+    /// sorting. Bit-identical to `compute` — per-index occurrence counts
+    /// are exactly the run lengths the sorted scan sees, and
+    /// [`amped_sim::costmodel::dram_factor_reads`] sorts its input itself,
+    /// so the row-count emission order is immaterial. This is what the
+    /// shard-construction loop calls: one workspace amortized over every
+    /// shard of a tensor.
+    pub fn compute_scratch(
+        t: &SparseTensor,
+        d: usize,
+        elem_range: Range<usize>,
+        cache_rows: usize,
+        scratch: &mut StatsScratch,
+    ) -> Self {
+        Self::compute_with_scratch(
+            elem_range.len(),
+            t.order(),
+            |e, m| t.idx(elem_range.start + e, m),
+            d,
+            cache_rows,
+            scratch,
+        )
+    }
+
     /// Computes the statistics of a raw element-major coordinate slice
     /// (`k × order`, the layout of [`SparseTensor::indices_flat`] and of
     /// on-disk chunk payloads) without materializing a tensor. This is what
@@ -122,6 +147,100 @@ impl ShardStats {
             distinct_in_total,
             dram_factor_reads,
         }
+    }
+
+    /// Counting core: tallies per-index occurrences against epoch-marked
+    /// scratch arrays. A distinct index's occurrence count equals its run
+    /// length in the sorted order, so `distinct_out`/`max_out_run`/
+    /// `distinct_in_total` come out identical to the sort-based scan, and
+    /// `dram_factor_reads` sorts the row counts internally so their
+    /// first-seen emission order changes nothing.
+    fn compute_with_scratch(
+        k: usize,
+        order: usize,
+        idx: impl Fn(usize, usize) -> Idx,
+        d: usize,
+        cache_rows: usize,
+        scratch: &mut StatsScratch,
+    ) -> Self {
+        if k == 0 {
+            return Self::default();
+        }
+        let (distinct_out, max_out_run) = scratch.tally(k, |e| idx(e, d), false);
+        scratch.row_counts.clear();
+        let mut distinct_in_total = 0u64;
+        for w in 0..order {
+            if w == d {
+                continue;
+            }
+            let (distinct, _) = scratch.tally(k, |e| idx(e, w), true);
+            distinct_in_total += distinct;
+        }
+        let dram_factor_reads =
+            amped_sim::costmodel::dram_factor_reads_mut(&mut scratch.row_counts, cache_rows);
+        Self {
+            nnz: k as u64,
+            distinct_out,
+            max_out_run,
+            distinct_in_total,
+            dram_factor_reads,
+        }
+    }
+}
+
+/// Reusable counting workspace for [`ShardStats::compute_scratch`]:
+/// per-index epoch marks and occurrence counts, grown lazily to the largest
+/// index seen. The epoch stamp makes reuse free — no clearing between
+/// shards or modes, just a generation bump.
+#[derive(Clone, Debug, Default)]
+pub struct StatsScratch {
+    epoch: u32,
+    mark: Vec<u32>,
+    count: Vec<u32>,
+    distinct: Vec<Idx>,
+    row_counts: Vec<u32>,
+}
+
+impl StatsScratch {
+    /// Fresh workspace. Arrays grow on demand; pre-sizing is unnecessary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts occurrences of `key(e)` over `e ∈ 0..k`. Returns
+    /// `(distinct, max_count)`; when `collect_rows`, appends each distinct
+    /// index's count to the shared row-count pool (in first-seen order).
+    fn tally(&mut self, k: usize, key: impl Fn(usize) -> Idx, collect_rows: bool) -> (u64, u64) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 generation wrapped: stale marks could alias. Reset once
+            // every four billion passes.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.distinct.clear();
+        let mut max_count = 0u32;
+        for e in 0..k {
+            let i = key(e) as usize;
+            if i >= self.mark.len() {
+                self.mark.resize(i + 1, 0);
+                self.count.resize(i + 1, 0);
+            }
+            if self.mark[i] == epoch {
+                self.count[i] += 1;
+            } else {
+                self.mark[i] = epoch;
+                self.count[i] = 1;
+                self.distinct.push(i as Idx);
+            }
+            max_count = max_count.max(self.count[i]);
+        }
+        if collect_rows {
+            self.row_counts
+                .extend(self.distinct.iter().map(|&i| self.count[i as usize]));
+        }
+        (self.distinct.len() as u64, max_count as u64)
     }
 }
 
@@ -231,6 +350,7 @@ impl ModePlan {
             prefix.push(prefix.last().unwrap() + h as usize);
         }
         let mut shards = Vec::new();
+        let mut scratch = StatsScratch::new();
         for (gpu, range) in device_ranges.iter().enumerate() {
             let mut idx = range.start;
             while idx < range.end {
@@ -247,7 +367,13 @@ impl ModePlan {
                     idx += 1;
                 }
                 let elem_range = elem_start..elem_end;
-                let stats = ShardStats::compute(&sorted, d, elem_range.clone(), usize::MAX);
+                let stats = ShardStats::compute_scratch(
+                    &sorted,
+                    d,
+                    elem_range.clone(),
+                    usize::MAX,
+                    &mut scratch,
+                );
                 shards.push(Shard {
                     gpu,
                     index_range: shard_start_idx..idx,
@@ -446,6 +572,28 @@ mod tests {
         let s = ShardStats::compute(&t, 1, 0..2, usize::MAX);
         assert_eq!(s.distinct_out, 1);
         assert_eq!(s.distinct_in_total, 2); // mode 0 has {0, 1}
+    }
+
+    /// The epoch-marked counting path must be bit-identical to the
+    /// sort-based scan on every mode, range, and cache size — including a
+    /// reused scratch (stale marks from earlier calls must never alias).
+    #[test]
+    fn scratch_stats_match_sort_based_path() {
+        let t = tensor();
+        let mut scratch = StatsScratch::new();
+        for d in 0..3 {
+            for range in [0..t.nnz(), 100..900, 37..38, 5..5] {
+                for cache_rows in [usize::MAX, 64, 3, 0] {
+                    let sorted = ShardStats::compute(&t, d, range.clone(), cache_rows);
+                    let counted =
+                        ShardStats::compute_scratch(&t, d, range.clone(), cache_rows, &mut scratch);
+                    assert_eq!(
+                        sorted, counted,
+                        "mode {d}, range {range:?}, cache {cache_rows}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

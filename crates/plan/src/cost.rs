@@ -14,7 +14,7 @@ use crate::assignment::ModeAssignment;
 
 /// What planners may ask about device speed. Object-safe so engines can
 /// thread `&dyn CostQuery` through the planner trait.
-pub trait CostQuery: std::fmt::Debug {
+pub trait CostQuery: std::fmt::Debug + Sync {
     /// Number of devices work can be assigned to.
     fn num_devices(&self) -> usize;
 

@@ -22,7 +22,7 @@ pub struct PlanStats {
 /// tensor-level stats, and a cost query, and produces the device
 /// assignment. Object-safe so engines hold `&dyn Partitioner` /
 /// `Box<dyn Partitioner>` and decorators can wrap any inner policy.
-pub trait Partitioner: std::fmt::Debug {
+pub trait Partitioner: std::fmt::Debug + Sync {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
 

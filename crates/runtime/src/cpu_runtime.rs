@@ -22,9 +22,10 @@
 //!   way [`SimRuntime`] timings are; use it for measurement, not goldens.
 
 use crate::device::Device;
+use crate::params::TuneParams;
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::sim_runtime::SimRuntime;
-use crate::smexec::{execute_blocks, host_workers, GridTiming};
+use crate::smexec::{execute_blocks, GridTiming};
 use crate::tracing::Timeline;
 use amped_sim::obs::MetricsRegistry;
 use amped_sim::{ClusterSpec, LinkSpec, MemPool, PlatformSpec, SimError};
@@ -69,6 +70,18 @@ impl CpuParallelRuntime {
 }
 
 impl DeviceRuntime for CpuParallelRuntime {
+    fn name(&self) -> &'static str {
+        "cpu-parallel"
+    }
+
+    fn tune(&self) -> TuneParams {
+        self.inner.tune()
+    }
+
+    fn set_tune(&mut self, params: TuneParams) {
+        self.inner.set_tune(params);
+    }
+
     fn spec(&self) -> &PlatformSpec {
         self.inner.spec()
     }
@@ -116,7 +129,7 @@ impl DeviceRuntime for CpuParallelRuntime {
             reg.histogram("launch_blocks").observe(costs.len() as f64);
         }
         let start = Instant::now();
-        execute_blocks(host_workers(), costs.len(), kernel);
+        execute_blocks(self.tune().effective_workers(), costs.len(), kernel);
         let wall = start.elapsed().as_secs_f64();
         GridTiming {
             makespan: wall,

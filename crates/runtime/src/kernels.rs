@@ -20,20 +20,20 @@
 //!
 //! The inner loop is *rank-blocked* the way Tensor Toolbox chunks sptensor
 //! `mttkrp` (`nzchunk` × `rchunk`): the factor-column loop is tiled by
-//! [`RANK_CHUNK`] so the per-element Hadamard partial stays in registers and
-//! the factor-row working set per pass shrinks at large rank. Rank blocking
-//! never reorders the per-cell accumulation over elements, so it is
-//! bit-transparent on the direct path.
+//! [`TuneParams::rank_chunk`] so the per-element Hadamard partial stays in
+//! registers and the factor-row working set per pass shrinks at large rank.
+//! Rank blocking never reorders the per-cell accumulation over elements —
+//! each output cell still sums its elements in element order, whatever the
+//! tile width — so *every* `rank_chunk` is bit-transparent on the direct
+//! path and `1`-ulp-bounded on the privatized path, which is what lets the
+//! autotuner search it freely.
 
+use crate::params::{TuneParams, MAX_RANK_CHUNK};
 use crate::runtime::DeviceRuntime;
 use crate::smexec::{execute_blocks, GridTiming};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
-
-/// Factor-column tile width (Tensor Toolbox's `rchunk`): the Hadamard
-/// partial for one element is computed [`RANK_CHUNK`] columns at a time.
-pub const RANK_CHUNK: usize = 32;
 
 /// A source of sparse-tensor nonzeros for the kernel: anything that can map
 /// an element index to its per-mode coordinates and value. Blocks address
@@ -190,12 +190,13 @@ fn ec_direct<S: EcSource + ?Sized>(
     d: usize,
     factors: &FactorsView<'_>,
     range: Range<usize>,
+    rank_chunk: usize,
     out: &MttkrpOut,
 ) {
     let rank = factors.rank();
-    let mut prod = [0.0f32; RANK_CHUNK];
-    for c0 in (0..rank).step_by(RANK_CHUNK) {
-        let cw = RANK_CHUNK.min(rank - c0);
+    let mut prod = [0.0f32; MAX_RANK_CHUNK];
+    for c0 in (0..rank).step_by(rank_chunk) {
+        let cw = rank_chunk.min(rank - c0);
         for e in range.clone() {
             let prod = &mut prod[..cw];
             prod.fill(src.value(e));
@@ -224,6 +225,7 @@ fn block_tile<S: EcSource + ?Sized>(
     d: usize,
     factors: &FactorsView<'_>,
     range: Range<usize>,
+    rank_chunk: usize,
 ) -> Option<BlockTile> {
     if range.is_empty() {
         return None;
@@ -237,9 +239,9 @@ fn block_tile<S: EcSource + ?Sized>(
     let rank = factors.rank();
     let span = (hi - lo + 1) as usize;
     let mut acc = vec![0.0f64; span * rank];
-    let mut prod = [0.0f64; RANK_CHUNK];
-    for c0 in (0..rank).step_by(RANK_CHUNK) {
-        let cw = RANK_CHUNK.min(rank - c0);
+    let mut prod = [0.0f64; MAX_RANK_CHUNK];
+    for c0 in (0..rank).step_by(rank_chunk) {
+        let cw = rank_chunk.min(rank - c0);
         for e in range.clone() {
             let prod = &mut prod[..cw];
             prod.fill(src.value(e) as f64);
@@ -305,6 +307,7 @@ fn dispatch<S, E>(
     d: usize,
     factors: &FactorsView<'_>,
     blocks: &[Range<usize>],
+    rank_chunk: usize,
     out: &MttkrpOut,
     execute: E,
 ) -> GridTiming
@@ -315,13 +318,13 @@ where
     if blocks.len() <= 1 {
         execute(&|_b: usize| {
             if let Some(r) = blocks.first() {
-                ec_direct(src, d, factors, r.clone(), out);
+                ec_direct(src, d, factors, r.clone(), rank_chunk, out);
             }
         })
     } else {
         let tiles: Vec<OnceLock<BlockTile>> = (0..blocks.len()).map(|_| OnceLock::new()).collect();
         let timing = execute(&|b: usize| {
-            if let Some(t) = block_tile(src, d, factors, blocks[b].clone()) {
+            if let Some(t) = block_tile(src, d, factors, blocks[b].clone(), rank_chunk) {
                 let _ = tiles[b].set(t);
             }
         });
@@ -339,6 +342,12 @@ where
 /// element order); multi-block grids take the privatized path. The returned
 /// timing is whatever the runtime reports for the grid (pure model on
 /// [`crate::SimRuntime`], measured wall on [`crate::CpuParallelRuntime`]).
+///
+/// Tunables come from the runtime's [`TuneParams`]
+/// ([`DeviceRuntime::tune`]): the kernel tiles factor columns by its
+/// `rank_chunk`, and the runtime's own `launch_grid` applies its worker
+/// count — so a tuned engine threads one `TuneParams` through both halves
+/// by setting it once on the runtime.
 // A launch mirrors a driver call: target + kernel inputs + grid shape +
 // output is inherently this wide, and a params struct would just rename
 // the positions.
@@ -354,30 +363,41 @@ pub fn launch_mttkrp<S: EcSource + ?Sized>(
     out: &MttkrpOut,
 ) -> GridTiming {
     assert_eq!(blocks.len(), costs.len(), "one cost per block");
-    dispatch(src, d, factors, blocks, out, |kernel| {
+    let rank_chunk = rt.tune().effective_rank_chunk();
+    dispatch(src, d, factors, blocks, rank_chunk, out, |kernel| {
         rt.launch_grid(gpu, kernel, costs)
     })
 }
 
-/// Host-only MTTKRP over explicit blocks on up to `workers` threads — the
-/// same dispatch as [`launch_mttkrp`] without a runtime (no simulated
-/// timing). Used by the host reference kernels and the kernel proptests.
+/// Host-only MTTKRP over explicit blocks — the same dispatch as
+/// [`launch_mttkrp`] without a runtime (no simulated timing). Runs on up to
+/// `tune.effective_workers()` threads with `tune.effective_rank_chunk()`
+/// column tiles. Used by the host reference kernels, the kernel proptests,
+/// and the autotuner's search probes.
 pub fn mttkrp_host<S: EcSource + ?Sized>(
     src: &S,
     d: usize,
     factors: &FactorsView<'_>,
     blocks: &[Range<usize>],
-    workers: usize,
+    tune: &TuneParams,
     out: &MttkrpOut,
 ) {
-    dispatch(src, d, factors, blocks, out, |kernel| {
-        execute_blocks(workers, blocks.len(), kernel);
-        GridTiming {
-            makespan: 0.0,
-            busy_sum: 0.0,
-            blocks: blocks.len(),
-        }
-    });
+    dispatch(
+        src,
+        d,
+        factors,
+        blocks,
+        tune.effective_rank_chunk(),
+        out,
+        |kernel| {
+            execute_blocks(tune.effective_workers(), blocks.len(), kernel);
+            GridTiming {
+                makespan: 0.0,
+                busy_sum: 0.0,
+                blocks: blocks.len(),
+            }
+        },
+    );
 }
 
 /// Splits `0..n` into `parts` near-equal contiguous element ranges (at most
@@ -401,6 +421,14 @@ mod tests {
     use super::*;
     use crate::sim_runtime::SimRuntime;
     use amped_sim::PlatformSpec;
+
+    /// Default tunables at an explicit worker count.
+    fn tp(workers: usize) -> TuneParams {
+        TuneParams {
+            workers,
+            ..Default::default()
+        }
+    }
 
     /// A tiny fixed COO tensor: coords flattened per element, one value each.
     struct Coo {
@@ -453,7 +481,7 @@ mod tests {
         let want = dense_ref(&src, &factors, rank, 0, 3);
         for blocks in [even_blocks(5, 1), vec![0..2, 2..4, 4..5]] {
             let out = MttkrpOut::zeros(3, rank);
-            mttkrp_host(&src, 0, &views, &blocks, 4, &out);
+            mttkrp_host(&src, 0, &views, &blocks, &tp(4), &out);
             for (j, &w) in want.iter().enumerate() {
                 let got = out.to_vec()[j] as f64;
                 assert!(
@@ -472,7 +500,7 @@ mod tests {
         let mut bits = Vec::new();
         for workers in [1usize, 2, 8] {
             let out = MttkrpOut::zeros(3, rank);
-            mttkrp_host(&src, 0, &views, &blocks, workers, &out);
+            mttkrp_host(&src, 0, &views, &blocks, &tp(workers), &out);
             bits.push(out.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
         }
         assert_eq!(bits[0], bits[1]);
@@ -511,8 +539,8 @@ mod tests {
 
     #[test]
     fn rank_chunking_covers_ranks_beyond_one_tile() {
-        // rank > RANK_CHUNK exercises the column-tile loop.
-        let rank = RANK_CHUNK + 3;
+        // rank > rank_chunk exercises the column-tile loop.
+        let rank = TuneParams::default().rank_chunk + 3;
         let src = Coo {
             coords: vec![[0, 0, 0], [1, 1, 1], [0, 1, 0]],
             vals: vec![1.5, -2.0, 0.25],
@@ -528,7 +556,7 @@ mod tests {
         let want = dense_ref(&src, &factors, rank, 1, 2);
         for blocks in [even_blocks(3, 1), vec![0..1, 1..3]] {
             let out = MttkrpOut::zeros(2, rank);
-            mttkrp_host(&src, 1, &views, &blocks, 2, &out);
+            mttkrp_host(&src, 1, &views, &blocks, &tp(2), &out);
             for (j, &w) in want.iter().enumerate() {
                 let got = out.to_vec()[j] as f64;
                 assert!((got - w).abs() <= 1e-5 * w.abs().max(1.0), "cell {j}");

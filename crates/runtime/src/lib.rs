@@ -44,6 +44,10 @@
 //!   per-block accumulation and a deterministic merge. Engines and
 //!   baselines launch through [`kernels::launch_mttkrp`] instead of writing
 //!   per-element atomic updates.
+//! * [`params`] — the tunable execution parameters ([`TuneParams`]: rank
+//!   tile, worker count, OOC chunk budget and prefetch depth) a runtime
+//!   carries and the `amped-tune` autotuner searches. Every setting is
+//!   numerics-transparent; only wall time moves.
 //! * [`smexec`] / [`collective`] — the execution primitives themselves
 //!   (grid executor, flat and hierarchical ring all-gathers), moved here
 //!   from `amped-sim` so that no caller outside this crate reaches them
@@ -65,6 +69,7 @@ pub mod cpu_runtime;
 pub mod device;
 pub mod export;
 pub mod kernels;
+pub mod params;
 pub mod sim_runtime;
 pub mod smexec;
 pub mod spans;
@@ -76,6 +81,7 @@ pub use cpu_runtime::CpuParallelRuntime;
 pub use device::{Device, Platform};
 pub use export::{chrome_trace, chrome_trace_string};
 pub use kernels::{launch_mttkrp, EcSource, FactorsView, FnSource, MttkrpOut};
+pub use params::{TuneParams, MAX_RANK_CHUNK};
 pub use runtime::{Collective, DeviceRuntime, FactorBlock};
 pub use sim_runtime::SimRuntime;
 pub use smexec::GridTiming;

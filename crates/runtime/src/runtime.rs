@@ -2,6 +2,7 @@
 //! execute through.
 
 use crate::device::Device;
+use crate::params::TuneParams;
 use crate::smexec::GridTiming;
 use crate::tracing::Timeline;
 use amped_sim::obs::MetricsRegistry;
@@ -54,6 +55,28 @@ pub struct FactorBlock {
 /// gathered blocks) are computed for real.
 pub trait DeviceRuntime: std::fmt::Debug {
     // --- Introspection -----------------------------------------------------
+
+    /// A stable backend identifier (`"sim"`, `"cpu-parallel"`, …) — one half
+    /// of the autotuner's cache key, so winners searched on one backend are
+    /// never replayed on another. Decorators forward to the inner backend:
+    /// they change observation, not execution.
+    fn name(&self) -> &'static str {
+        "device"
+    }
+
+    /// The tunable execution parameters this runtime applies to its grid
+    /// launches. Defaults to [`TuneParams::default`] (the historical
+    /// constants) for backends without tunable state.
+    fn tune(&self) -> TuneParams {
+        TuneParams::default()
+    }
+
+    /// Installs tuned execution parameters. Backends without tunable state
+    /// ignore the call; [`crate::SimRuntime`] and
+    /// [`crate::CpuParallelRuntime`] store and apply them.
+    fn set_tune(&mut self, params: TuneParams) {
+        let _ = params;
+    }
 
     /// The hardware specification of the platform this runtime drives.
     fn spec(&self) -> &PlatformSpec;

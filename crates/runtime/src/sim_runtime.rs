@@ -6,6 +6,7 @@ use crate::collective::{
     ring_allgather_time_cluster,
 };
 use crate::device::{Device, Platform};
+use crate::params::TuneParams;
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::smexec::{list_schedule_makespan, run_grid, GridTiming};
 use amped_sim::obs::{Counter, Histogram, MetricsRegistry};
@@ -62,6 +63,7 @@ impl RtMeters {
 pub struct SimRuntime {
     platform: Platform,
     meters: RtMeters,
+    tune: TuneParams,
 }
 
 impl SimRuntime {
@@ -70,6 +72,7 @@ impl SimRuntime {
         Self {
             platform: Platform::new(spec),
             meters: RtMeters::default(),
+            tune: TuneParams::default(),
         }
     }
 
@@ -80,6 +83,7 @@ impl SimRuntime {
         Self {
             platform: Platform::from_cluster(cluster),
             meters: RtMeters::default(),
+            tune: TuneParams::default(),
         }
     }
 
@@ -168,6 +172,18 @@ impl SimRuntime {
 }
 
 impl DeviceRuntime for SimRuntime {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn tune(&self) -> TuneParams {
+        self.tune
+    }
+
+    fn set_tune(&mut self, params: TuneParams) {
+        self.tune = params;
+    }
+
     fn spec(&self) -> &PlatformSpec {
         self.platform.spec()
     }
@@ -218,7 +234,12 @@ impl DeviceRuntime for SimRuntime {
     ) -> GridTiming {
         self.meters.launches.inc();
         self.meters.launch_blocks.observe(costs.len() as f64);
-        run_grid(self.spec().gpus[gpu].sms, kernel, costs)
+        run_grid(
+            self.spec().gpus[gpu].sms,
+            self.tune.effective_workers(),
+            kernel,
+            costs,
+        )
     }
 
     fn h2d_link_for(&self, gpu: usize, active: usize) -> LinkSpec {

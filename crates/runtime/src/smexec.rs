@@ -84,44 +84,10 @@ pub fn list_schedule_makespan(sms: usize, costs: impl IntoIterator<Item = f64>) 
     }
 }
 
-/// Maximum number of host threads used to *execute* grids. Simulated time is
-/// independent of this; it only bounds real CPU usage.
-///
-/// Defaults to `min(available_parallelism, 8)`. The `AMPED_THREADS`
-/// environment variable overrides it (clamped to ≥ 1), so benches and CI
-/// runs are reproducible on any core count: `AMPED_THREADS=8 cargo bench`.
-///
-/// An unparsable or zero `AMPED_THREADS` falls back (to the default / to 1)
-/// and says so **once** through [`amped_sim::obs::warn_once`] — silently
-/// ignoring a typo'd override would leave a bench run on the wrong worker
-/// count with nothing in the log to show why.
-pub fn host_workers() -> usize {
-    if let Ok(v) = std::env::var("AMPED_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(0) => {
-                amped_sim::obs::warn_once(
-                    "amped-threads-zero",
-                    "AMPED_THREADS=0 is not a valid worker count; clamping to 1",
-                );
-                return 1;
-            }
-            Ok(n) => return n,
-            Err(_) => {
-                amped_sim::obs::warn_once(
-                    "amped-threads-unparsable",
-                    &format!(
-                        "AMPED_THREADS={v:?} is not a number; \
-                         using the default worker count"
-                    ),
-                );
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
+// The default host worker budget (`AMPED_THREADS`-aware) lives in
+// `amped-sim` so the partitioner's parallel planner shares it; re-exported
+// here because the grid executor is its historical home.
+pub use amped_sim::host_workers;
 
 /// Pure functional execution: runs `kernel(block_index)` for every block in
 /// `0..num_blocks` on up to `workers` crossbeam scoped threads (blocks are
@@ -158,15 +124,17 @@ where
 }
 
 /// Executes a grid: runs `kernel(block_index)` for every block of the grid
-/// (one block per entry of `costs`) on the host worker pool via
+/// (one block per entry of `costs`) on up to `workers` host threads via
 /// [`execute_blocks`], and returns the simulated [`GridTiming`] of
 /// list-scheduling `costs` in order — a pure model of the block cost
-/// sequence, independent of how host execution interleaved.
-pub fn run_grid<K>(sms: usize, kernel: K, costs: &[f64]) -> GridTiming
+/// sequence, independent of how host execution interleaved. Runtimes pass
+/// their tuned worker count ([`crate::TuneParams::effective_workers`]);
+/// the default resolves to [`host_workers`].
+pub fn run_grid<K>(sms: usize, workers: usize, kernel: K, costs: &[f64]) -> GridTiming
 where
     K: Fn(usize) + Sync,
 {
-    execute_blocks(host_workers(), costs.len(), kernel);
+    execute_blocks(workers, costs.len(), kernel);
     list_schedule_makespan(sms, costs.iter().copied())
 }
 
@@ -216,7 +184,7 @@ mod tests {
     #[test]
     fn run_grid_executes_every_block_exactly_once() {
         let hits = AtomicMat::zeros(1, 64);
-        let timing = run_grid(4, |b| hits.add(0, b, 1.0), &[0.5; 64]);
+        let timing = run_grid(4, host_workers(), |b| hits.add(0, b, 1.0), &[0.5; 64]);
         assert_eq!(hits.to_vec(), vec![1.0; 64]);
         // 64 blocks × 0.5 on 4 SMs = 8.0 simulated seconds.
         assert_eq!(timing.makespan, 8.0);
@@ -228,8 +196,8 @@ mod tests {
         // Same costs → same timing regardless of how execution interleaves
         // (and regardless of the worker count executing the blocks).
         let costs: Vec<f64> = (0..100).map(|b| (b % 7) as f64 * 0.1).collect();
-        let a = run_grid(3, |_| {}, &costs);
-        let b = run_grid(3, |_| {}, &costs);
+        let a = run_grid(3, 2, |_| {}, &costs);
+        let b = run_grid(3, 5, |_| {}, &costs);
         assert_eq!(a, b);
         assert_eq!(a, list_schedule_makespan(3, costs.iter().copied()));
     }

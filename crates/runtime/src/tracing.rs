@@ -21,6 +21,7 @@
 //! first.
 
 use crate::device::Device;
+use crate::params::TuneParams;
 use crate::runtime::{Collective, DeviceRuntime, FactorBlock};
 use crate::smexec::GridTiming;
 use crate::spans::{SpanPath, SpanScope, SpanState};
@@ -307,6 +308,20 @@ impl<R: DeviceRuntime> TracingRuntime<R> {
 }
 
 impl<R: DeviceRuntime> DeviceRuntime for TracingRuntime<R> {
+    fn name(&self) -> &'static str {
+        // The decorator changes observation, not execution — autotune cache
+        // entries must match the backend that actually runs the kernels.
+        self.inner.name()
+    }
+
+    fn tune(&self) -> TuneParams {
+        self.inner.tune()
+    }
+
+    fn set_tune(&mut self, params: TuneParams) {
+        self.inner.set_tune(params);
+    }
+
     fn spec(&self) -> &PlatformSpec {
         self.inner.spec()
     }

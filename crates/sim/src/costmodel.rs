@@ -153,6 +153,19 @@ impl CostModel {
 /// popular rows absorb most accesses and the kernel runs near the tensor's
 /// own streaming bandwidth.
 pub fn dram_factor_reads(mut row_counts: Vec<u32>, cache_rows: usize) -> u64 {
+    dram_factor_reads_mut(&mut row_counts, cache_rows)
+}
+
+/// [`dram_factor_reads`] over a caller-owned buffer (sorted in place, no
+/// allocation) — the form the shard-statistics counting path uses with its
+/// reusable scratch.
+pub fn dram_factor_reads_mut(row_counts: &mut [u32], cache_rows: usize) -> u64 {
+    if cache_rows >= row_counts.len() {
+        // Every row fits: one cold fill each, no DRAM re-reads. Same value
+        // the sorted path computes, without the sort — this is the planner's
+        // case (`cache_rows == usize::MAX` disables the cache model).
+        return row_counts.len() as u64;
+    }
     row_counts.sort_unstable_by(|a, b| b.cmp(a));
     let cached = row_counts.len().min(cache_rows);
     let uncovered: u64 = row_counts[cached..].iter().map(|&c| c as u64).sum();

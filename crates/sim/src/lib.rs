@@ -53,5 +53,5 @@ pub use cluster::ClusterSpec;
 pub use error::SimError;
 pub use memory::MemPool;
 pub use metrics::TimeBreakdown;
-pub use obs::MetricsRegistry;
+pub use obs::{host_workers, MetricsRegistry};
 pub use spec::{GpuSpec, HostSpec, LinkSpec, PlatformSpec};

@@ -407,6 +407,50 @@ pub fn warn_once(key: &str, message: &str) -> bool {
     true
 }
 
+/// Maximum number of host threads used to execute grids and other
+/// host-parallel work (kernel blocks, multi-mode planning). Simulated time
+/// is independent of this; it only bounds real CPU usage.
+///
+/// Defaults to `min(available_parallelism, 8)`. The `AMPED_THREADS`
+/// environment variable overrides it (clamped to ≥ 1), so benches and CI
+/// runs are reproducible on any core count: `AMPED_THREADS=8 cargo bench`.
+///
+/// An unparsable or zero `AMPED_THREADS` falls back (to the default / to 1)
+/// and says so **once** through [`warn_once`] — silently ignoring a typo'd
+/// override would leave a bench run on the wrong worker count with nothing
+/// in the log to show why.
+///
+/// Lives here — at the bottom of the crate graph, next to [`warn_once`] —
+/// so both the runtime's grid executor and the partitioner's parallel
+/// multi-mode planner resolve the same worker budget.
+pub fn host_workers() -> usize {
+    if let Ok(v) = std::env::var("AMPED_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(0) => {
+                warn_once(
+                    "amped-threads-zero",
+                    "AMPED_THREADS=0 is not a valid worker count; clamping to 1",
+                );
+                return 1;
+            }
+            Ok(n) => return n,
+            Err(_) => {
+                warn_once(
+                    "amped-threads-unparsable",
+                    &format!(
+                        "AMPED_THREADS={v:?} is not a number; \
+                         using the default worker count"
+                    ),
+                );
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// All warnings emitted so far, `(key, message)` in key order — how tests
 /// assert a diagnostic fired without scraping stderr.
 pub fn warnings() -> Vec<(String, String)> {

@@ -39,4 +39,4 @@ pub use format::{
     convert_tns_to_tnsb, read_tnsb_meta, write_tnsb, ChunkMeta, TnsbMeta, TnsbWriter,
 };
 pub use partition::{ChunkRoute, StreamModePlan, StreamPlan};
-pub use reader::{Chunk, ChunkReader};
+pub use reader::{Chunk, ChunkReader, StagedRead};

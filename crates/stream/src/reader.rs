@@ -6,7 +6,7 @@ use amped_sim::obs::{Counter, Gauge, MetricsRegistry};
 use amped_sim::MemPool;
 use amped_tensor::{Idx, Val};
 use std::fs::File;
-use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// One resident tensor chunk: decoded coordinates and values plus the bytes
@@ -52,6 +52,112 @@ impl Chunk {
     }
 }
 
+/// A budget reservation for one chunk whose disk read has not happened yet.
+///
+/// [`ChunkReader::stage`] charges the chunk's bytes to the staging budget on
+/// the calling thread and hands back this token; [`StagedRead::read`] then
+/// performs the seek + decode through its own file handle, so it is `Send`
+/// and can run on a prefetch thread while the owning reader keeps serving
+/// the main loop. The reservation itself is settled back on the owner's
+/// thread: [`ChunkReader::finish_stage`] on success (counts the read),
+/// [`ChunkReader::fail_stage`] on error (returns the bytes). Dropping a
+/// `StagedRead` without settling leaks budget, exactly like leaking a
+/// [`Chunk`].
+#[derive(Debug)]
+pub struct StagedRead {
+    index: usize,
+    path: PathBuf,
+    offset: u64,
+    nnz: usize,
+    order: usize,
+    shape: Vec<Idx>,
+    bytes: u64,
+}
+
+impl StagedRead {
+    /// Chunk index this reservation covers.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Bytes charged to the staging budget for this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Reads and decodes the staged chunk through a private file handle.
+    /// Thread-safe with respect to the owning [`ChunkReader`]; the caller
+    /// settles the budget reservation afterwards (`finish_stage` /
+    /// `fail_stage`).
+    pub fn read(&self) -> Result<Chunk, StreamError> {
+        let (coords, values) = decode_payload(
+            &self.path,
+            self.offset,
+            self.index,
+            self.nnz,
+            self.order,
+            &self.shape,
+        )?;
+        Ok(Chunk {
+            index: self.index,
+            order: self.order,
+            coords,
+            values,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// Seeks to `offset` and decodes `nnz` elements of `order` coordinates plus
+/// one value each, validating coordinates against `shape`. Elements are read
+/// in 64 KiB slabs — one `read` syscall per slab instead of per element —
+/// so transient memory beyond the charged chunk bytes stays O(64 KiB)
+/// (reading the whole payload into its own buffer first would silently
+/// double the staging footprint the budget accounts for).
+fn decode_payload(
+    path: &Path,
+    offset: u64,
+    c: usize,
+    nnz: usize,
+    order: usize,
+    shape: &[Idx],
+) -> Result<(Vec<Idx>, Vec<Val>), StreamError> {
+    let mut file = File::open(path).map_err(|e| StreamError::io(path, e))?;
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| StreamError::io(path, e))?;
+    let elem_sz = order * 4 + 4;
+    let batch = (64 * 1024 / elem_sz).max(1);
+    let mut slab = vec![0u8; batch * elem_sz];
+    let mut coords = Vec::with_capacity(nnz * order);
+    let mut values = Vec::with_capacity(nnz);
+    let mut done = 0usize;
+    while done < nnz {
+        let n = batch.min(nnz - done);
+        let buf = &mut slab[..n * elem_sz];
+        file.read_exact(buf).map_err(|e| StreamError::io(path, e))?;
+        for rec in buf.chunks_exact(elem_sz) {
+            for m in 0..order {
+                let idx = Idx::from_le_bytes(rec[m * 4..m * 4 + 4].try_into().expect("4 bytes"));
+                if idx >= shape[m] {
+                    return Err(StreamError::format(
+                        path,
+                        format!(
+                            "chunk {c}: coordinate {idx} out of bounds for mode {m} (size {})",
+                            shape[m]
+                        ),
+                    ));
+                }
+                coords.push(idx);
+            }
+            values.push(Val::from_le_bytes(
+                rec[order * 4..].try_into().expect("4 bytes"),
+            ));
+        }
+        done += n;
+    }
+    Ok((coords, values))
+}
+
 /// Reads `.tnsb` chunks from disk through a bounded host-memory budget.
 ///
 /// Every [`ChunkReader::load_chunk`] charges the chunk's payload bytes to
@@ -60,9 +166,13 @@ impl Chunk {
 /// the same [`amped_sim::SimError::OutOfMemory`] a real staging allocator
 /// would produce — out-of-core behaviour emerges from capacity arithmetic,
 /// exactly like the GPU/host pools of the in-core engine.
+///
+/// For overlapped pipelines, [`ChunkReader::stage`] splits a load into its
+/// budget reservation (here, on the owner's thread) and the disk read (a
+/// `Send`-able [`StagedRead`] a prefetch thread can execute), settled with
+/// [`ChunkReader::finish_stage`] / [`ChunkReader::fail_stage`].
 #[derive(Debug)]
 pub struct ChunkReader {
-    file: File,
     path: PathBuf,
     meta: TnsbMeta,
     budget: MemPool,
@@ -86,9 +196,7 @@ impl ChunkReader {
     pub fn open(path: impl AsRef<Path>, budget: MemPool) -> Result<Self, StreamError> {
         let path = path.as_ref().to_path_buf();
         let meta = read_tnsb_meta(&path)?;
-        let file = File::open(&path).map_err(|e| StreamError::io(&path, e))?;
         Ok(Self {
-            file,
             path,
             meta,
             budget,
@@ -131,35 +239,61 @@ impl ChunkReader {
         self.budget.free(bytes);
     }
 
-    /// Loads chunk `c` from disk, charging its bytes to the staging budget.
-    /// Fails with [`amped_sim::SimError::OutOfMemory`] (wrapped in
-    /// [`StreamError::Sim`]) if resident chunks already fill the budget.
-    pub fn load_chunk(&mut self, c: usize) -> Result<Chunk, StreamError> {
+    /// Reserves budget for chunk `c` without reading it: the returned
+    /// [`StagedRead`] performs the actual disk read (possibly on another
+    /// thread). Fails with a budget stall exactly like
+    /// [`ChunkReader::load_chunk`] when resident + staged bytes already fill
+    /// the budget.
+    pub fn stage(&mut self, c: usize) -> Result<StagedRead, StreamError> {
         assert!(c < self.meta.num_chunks(), "chunk {c} out of range");
         let bytes = self.meta.chunk_bytes(c);
         if let Err(e) = self.budget.alloc(bytes, "chunk staging") {
             // A stall: the pipeline wanted a chunk the budget couldn't
-            // hold. The OOC engine's single-resident loop never stalls;
-            // leaky or over-eager callers show up here.
+            // hold. Prefetch pipelines fall back to their blocking path
+            // when they see one.
             self.meters.chunk_stalls.inc();
             return Err(e.into());
         }
-        match self.read_payload(c) {
-            Ok((coords, values)) => {
-                self.meters.chunk_reads.inc();
-                self.meters.chunk_read_bytes.add(bytes);
-                self.meters.resident_bytes.set(self.budget.used() as f64);
-                Ok(Chunk {
-                    index: c,
-                    order: self.meta.order(),
-                    coords,
-                    values,
-                    bytes,
-                })
+        self.meters.resident_bytes.set(self.budget.used() as f64);
+        Ok(StagedRead {
+            index: c,
+            path: self.path.clone(),
+            offset: self.meta.chunk_offset(c),
+            nnz: self.meta.chunks[c].nnz as usize,
+            order: self.meta.order(),
+            shape: self.meta.shape.clone(),
+            bytes,
+        })
+    }
+
+    /// Accounts a staged read that completed successfully — the chunk keeps
+    /// its budget reservation until [`ChunkReader::release`].
+    pub fn finish_stage(&mut self, chunk: &Chunk) {
+        self.meters.chunk_reads.inc();
+        self.meters.chunk_read_bytes.add(chunk.bytes);
+    }
+
+    /// Returns a failed staged read's reservation (`bytes` as reported by
+    /// [`StagedRead::bytes`]) to the budget.
+    pub fn fail_stage(&mut self, bytes: u64) {
+        self.budget.free(bytes);
+        self.meters.resident_bytes.set(self.budget.used() as f64);
+    }
+
+    /// Loads chunk `c` from disk, charging its bytes to the staging budget.
+    /// Fails with [`amped_sim::SimError::OutOfMemory`] (wrapped in
+    /// [`StreamError::Sim`]) if resident chunks already fill the budget.
+    pub fn load_chunk(&mut self, c: usize) -> Result<Chunk, StreamError> {
+        let staged = self.stage(c)?;
+        let bytes = staged.bytes();
+        match staged.read() {
+            Ok(chunk) => {
+                self.finish_stage(&chunk);
+                Ok(chunk)
             }
             Err(e) => {
                 // A failed read must not leak budget.
-                self.budget.free(bytes);
+                self.fail_stage(bytes);
                 Err(e)
             }
         }
@@ -169,44 +303,6 @@ impl ChunkReader {
     pub fn release(&mut self, chunk: Chunk) {
         self.budget.free(chunk.bytes);
         self.meters.resident_bytes.set(self.budget.used() as f64);
-    }
-
-    fn read_payload(&mut self, c: usize) -> Result<(Vec<Idx>, Vec<Val>), StreamError> {
-        let order = self.meta.order();
-        let nnz = self.meta.chunks[c].nnz as usize;
-        self.file
-            .seek(SeekFrom::Start(self.meta.chunk_offset(c)))
-            .map_err(|e| StreamError::io(&self.path, e))?;
-        // Decode element by element through a small fixed read buffer, so
-        // transient memory beyond the charged chunk bytes stays O(64 KiB) —
-        // reading the raw payload into its own buffer first would silently
-        // double the staging footprint the budget accounts for.
-        let mut reader = BufReader::with_capacity(64 * 1024, &mut self.file);
-        let mut elem = vec![0u8; order * 4 + 4];
-        let mut coords = Vec::with_capacity(nnz * order);
-        let mut values = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            reader
-                .read_exact(&mut elem)
-                .map_err(|e| StreamError::io(&self.path, e))?;
-            for m in 0..order {
-                let idx = Idx::from_le_bytes(elem[m * 4..m * 4 + 4].try_into().expect("4 bytes"));
-                if idx >= self.meta.shape[m] {
-                    return Err(StreamError::format(
-                        &self.path,
-                        format!(
-                            "chunk {c}: coordinate {idx} out of bounds for mode {m} (size {})",
-                            self.meta.shape[m]
-                        ),
-                    ));
-                }
-                coords.push(idx);
-            }
-            values.push(Val::from_le_bytes(
-                elem[order * 4..].try_into().expect("4 bytes"),
-            ));
-        }
-        Ok((coords, values))
     }
 }
 
@@ -293,6 +389,39 @@ mod tests {
         write_tnsb(&t, &path, 64).unwrap();
         let mut r = ChunkReader::open(&path, MemPool::new("host-stage", 8)).unwrap();
         assert!(r.load_chunk(0).unwrap_err().is_oom());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn staged_reads_decode_off_thread_and_settle_budget() {
+        let t = GenSpec::uniform(vec![30, 20, 10], 500, 9).generate();
+        let path = tmp("staged.tnsb");
+        write_tnsb(&t, &path, 128).unwrap();
+        let budget = MemPool::new("host-stage", 4 * 128 * t.elem_bytes());
+        let reg = MetricsRegistry::new();
+        let mut r = ChunkReader::open(&path, budget).unwrap();
+        r.set_metrics(reg.clone());
+        // Stage on this thread, read on another, settle back here.
+        let staged = r.stage(0).unwrap();
+        assert!(r.budget().used() > 0, "stage charges the budget up front");
+        assert_eq!(reg.counter_value("ooc_chunk_reads", &[]), 0);
+        let chunk = std::thread::spawn(move || staged.read())
+            .join()
+            .expect("reader thread")
+            .unwrap();
+        r.finish_stage(&chunk);
+        assert_eq!(reg.counter_value("ooc_chunk_reads", &[]), 1);
+        for e in 0..chunk.nnz() {
+            assert_eq!(chunk.coords(e), t.coords(e));
+            assert_eq!(chunk.value(e), t.value(e));
+        }
+        r.release(chunk);
+        assert_eq!(r.budget().used(), 0);
+        // A failed staged read settles through fail_stage without leaking.
+        let staged = r.stage(1).unwrap();
+        let bytes = staged.bytes();
+        r.fail_stage(bytes);
+        assert_eq!(r.budget().used(), 0);
         std::fs::remove_file(path).ok();
     }
 }

@@ -35,6 +35,7 @@ pub use amped_runtime as runtime;
 pub use amped_sim as sim;
 pub use amped_stream as stream;
 pub use amped_tensor as tensor;
+pub use amped_tune as tune;
 
 /// Convenience re-exports covering the common workflow: build a tensor,
 /// configure a platform, run the engine, inspect reports.
@@ -58,7 +59,7 @@ pub mod prelude {
     pub use amped_runtime::{
         chrome_trace, chrome_trace_string, launch_mttkrp, Collective, CpuParallelRuntime, Device,
         DeviceRuntime, FactorBlock, FactorsView, FnSource, GridTiming, MttkrpOut, Platform,
-        SimRuntime, SpanPath, SpanScope, StragglerReport, Timeline, TracingRuntime,
+        SimRuntime, SpanPath, SpanScope, StragglerReport, Timeline, TracingRuntime, TuneParams,
     };
     pub use amped_sim::metrics::{geomean, RunReport};
     pub use amped_sim::obs::MetricsRegistry;
@@ -69,4 +70,5 @@ pub mod prelude {
     pub use amped_tensor::datasets::Dataset;
     pub use amped_tensor::gen::{low_rank, low_rank_dense, GenSpec};
     pub use amped_tensor::{io, Idx, SparseTensor, Val};
+    pub use amped_tune::{backend_fingerprint, Autotuner, TensorStats, TuneError};
 }

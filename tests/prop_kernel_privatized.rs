@@ -1,9 +1,11 @@
 //! Property tests: the kernel layer's privatized-merge MTTKRP is
-//! deterministic across worker counts (bit-for-bit) and agrees with the
-//! sequential `f64` reference to at most one `f32` ulp per cell.
+//! deterministic across worker counts (bit-for-bit), agrees with the
+//! sequential `f64` reference to at most one `f32` ulp per cell, and is
+//! transparent to the tuned `rank_chunk` column-tile width.
 
 use amped::prelude::*;
 use amped::runtime::kernels::{even_blocks, mttkrp_host, FactorsView, FnSource, MttkrpOut};
+use amped::runtime::TuneParams;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -15,12 +17,18 @@ fn run_kernel(
     mode: usize,
     blocks: &[Range<usize>],
     workers: usize,
+    rank_chunk: usize,
 ) -> Vec<f32> {
     let r = fs[mode].cols();
     let out = MttkrpOut::zeros(t.dim(mode) as usize, r);
     let src = FnSource::new(|e, m| t.idx(e, m), |e| t.value(e));
     let views = FactorsView::new(fs.iter().map(|f| f.as_slice()).collect(), r);
-    mttkrp_host(&src, mode, &views, blocks, workers, &out);
+    let tune = TuneParams {
+        workers,
+        rank_chunk,
+        ..Default::default()
+    };
+    mttkrp_host(&src, mode, &views, blocks, &tune, &out);
     out.to_vec()
 }
 
@@ -61,8 +69,8 @@ proptest! {
         let fs: Vec<Mat> =
             t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
         let blocks = even_blocks(t.nnz(), parts);
-        let base = run_kernel(&t, &fs, mode, &blocks, 1);
-        let par = run_kernel(&t, &fs, mode, &blocks, workers);
+        let base = run_kernel(&t, &fs, mode, &blocks, 1, 32);
+        let par = run_kernel(&t, &fs, mode, &blocks, workers, 32);
         for (i, (a, b)) in base.iter().zip(&par).enumerate() {
             prop_assert_eq!(
                 a.to_bits(), b.to_bits(),
@@ -95,13 +103,64 @@ proptest! {
         // `even_blocks` collapses tiny inputs into fewer ranges; the
         // privatized path needs at least two.
         prop_assume!(blocks.len() > 1);
-        let got = run_kernel(&t, &fs, mode, &blocks, workers);
+        let got = run_kernel(&t, &fs, mode, &blocks, workers, 32);
         let want = mttkrp_ref(&t, &fs, mode);
         for (i, (g, w)) in got.iter().zip(want.as_slice()).enumerate() {
             prop_assert!(
                 within_one_ulp(*g, *w),
                 "cell {}: kernel {} vs reference {} (more than one ulp apart)", i, g, w
             );
+        }
+    }
+
+    /// Rank blocking tiles the factor-*column* loop but never reorders any
+    /// cell's accumulation over elements, so every searchable tile width —
+    /// from degenerate 1 to the stack-buffer maximum 256 — produces the same
+    /// output bits as the default width on both kernel paths, and therefore
+    /// stays within the privatized path's one-ulp envelope of the sequential
+    /// `f64` reference. This is the transparency contract that lets the
+    /// autotuner pick `rank_chunk` freely.
+    #[test]
+    fn rank_chunk_is_numerics_transparent(
+        d0 in 2u32..40,
+        d1 in 2u32..40,
+        d2 in 2u32..40,
+        nnz in 1usize..400,
+        rank in 1usize..48,
+        parts in 1usize..8,
+        rc_idx in 0usize..4,
+        mode in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let rank_chunk = [1usize, 8, 32, 256][rc_idx];
+        let t = GenSpec::uniform(vec![d0, d1, d2], nnz, seed).generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FE);
+        let fs: Vec<Mat> =
+            t.shape().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let blocks = even_blocks(t.nnz(), parts);
+        let got = run_kernel(&t, &fs, mode, &blocks, 4, rank_chunk);
+        // Against the default tile width the result is bit-identical: the
+        // element accumulation order per cell is the same for every tile
+        // width on both kernel paths (direct and privatized).
+        let base = run_kernel(&t, &fs, mode, &blocks, 4, 32);
+        for (i, (g, b)) in got.iter().zip(&base).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(), b.to_bits(),
+                "cell {}: rank_chunk={} vs 32 differ: {} vs {}", i, rank_chunk, g, b
+            );
+        }
+        // On the privatized path (only — the direct path accumulates in
+        // `f32` and owes the reference nothing tighter than its legacy
+        // element-order error) the one-ulp reference bound holds at every
+        // tile width.
+        if blocks.len() > 1 {
+            let want = mttkrp_ref(&t, &fs, mode);
+            for (i, (g, w)) in got.iter().zip(want.as_slice()).enumerate() {
+                prop_assert!(
+                    within_one_ulp(*g, *w),
+                    "cell {}: rank_chunk={} gives {} vs reference {}", i, rank_chunk, g, w
+                );
+            }
         }
     }
 }
