@@ -39,10 +39,27 @@ pub struct CalibrationRow {
 }
 
 impl CalibrationRow {
+    /// The band of `modeled / measured` ratios considered calibrated:
+    /// within 2× either way. Outside it the model is lying about this op
+    /// kind on this host — the pr8 snapshot measured a `launch` ratio of
+    /// `0.0122` (model ~80× optimistic), which this flag now surfaces
+    /// instead of letting the number scroll past.
+    pub const CALIBRATED_BAND: (f64, f64) = (0.5, 2.0);
+
     /// `modeled / measured`, or `None` when the measured total is zero
     /// (zero-duration memory ops).
     pub fn ratio(&self) -> Option<f64> {
         (self.measured_s > 0.0).then(|| self.modeled_s / self.measured_s)
+    }
+
+    /// Whether this row's ratio falls outside [`Self::CALIBRATED_BAND`].
+    /// Rows with no measurable ratio are not flagged. A flagged `launch`
+    /// row is the cue to feed the ratio into
+    /// `CpuParallelRuntime::set_launch_calibration` so modeled predictions
+    /// for that backend are rescaled to the observed clock.
+    pub fn flagged(&self) -> bool {
+        let (lo, hi) = Self::CALIBRATED_BAND;
+        self.ratio().is_some_and(|x| x < lo || x > hi)
     }
 }
 
@@ -66,6 +83,13 @@ impl CalibrationReport {
     pub fn wall_ratio(&self) -> Option<f64> {
         (self.measured_wall > 0.0).then(|| self.modeled_wall / self.measured_wall)
     }
+
+    /// Rows whose ratio falls outside the calibrated band (see
+    /// [`CalibrationRow::flagged`]) — the ops whose cost model needs a
+    /// recalibration pass on this host.
+    pub fn flagged_rows(&self) -> Vec<&CalibrationRow> {
+        self.rows.iter().filter(|r| r.flagged()).collect()
+    }
 }
 
 impl fmt::Display for CalibrationReport {
@@ -74,6 +98,7 @@ impl fmt::Display for CalibrationReport {
         writeln!(f, "|---|---|---|---|---|")?;
         for r in &self.rows {
             let ratio = match r.ratio() {
+                Some(x) if r.flagged() => format!("{x:.3} ⚠ out of band"),
                 Some(x) => format!("{x:.3}"),
                 None => "—".to_string(),
             };
@@ -219,5 +244,45 @@ mod tests {
         // The measured run produced per-device busy stats.
         assert_eq!(rep.straggler.per_gpu.len(), 2);
         assert!(rep.straggler.imbalance_ratio() >= 1.0);
+    }
+
+    fn row(ratio: f64) -> CalibrationRow {
+        CalibrationRow {
+            op: "launch".into(),
+            count: 1,
+            modeled_s: ratio,
+            measured_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn ratios_outside_the_band_are_flagged() {
+        // The pr8 observation: launch ratio 0.0122 must be flagged loudly.
+        assert!(row(0.0122).flagged());
+        assert!(row(0.49).flagged());
+        assert!(row(2.01).flagged());
+        assert!(row(80.0).flagged());
+        // Inside (and at) the band edges is calibrated.
+        assert!(!row(0.5).flagged());
+        assert!(!row(1.0).flagged());
+        assert!(!row(2.0).flagged());
+        // Unmeasurable rows are never flagged.
+        let zero = CalibrationRow {
+            op: "alloc".into(),
+            count: 0,
+            modeled_s: 0.0,
+            measured_s: 0.0,
+        };
+        assert!(!zero.flagged());
+
+        let rep = CalibrationReport {
+            rows: vec![row(0.0122), row(1.0)],
+            modeled_wall: 1.0,
+            measured_wall: 1.0,
+            straggler: StragglerReport { per_gpu: vec![] },
+        };
+        assert_eq!(rep.flagged_rows().len(), 1);
+        // The rendered table marks the out-of-band row.
+        assert!(format!("{rep}").contains("out of band"));
     }
 }

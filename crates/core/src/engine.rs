@@ -15,9 +15,11 @@ use amped_plan::{
     AssignmentSpace, CostQuery, ModeAssignment, NnzCcp, Partitioner, PlanStats, PlatformCostQuery,
     UniformCost, WorkloadProfile,
 };
-use amped_runtime::kernels::{launch_mttkrp, FactorsView, FnSource, MttkrpOut};
+use amped_runtime::kernels::{
+    launch_mttkrp, launch_mttkrp_compiled, CompiledShard, FactorsView, FnSource, MttkrpOut,
+};
 use amped_runtime::{
-    Collective, Device, DeviceRuntime, FactorBlock, SimRuntime, Timeline, TuneParams,
+    Collective, Device, DeviceRuntime, DispatchKind, FactorBlock, SimRuntime, Timeline, TuneParams,
 };
 use amped_sim::costmodel::{BlockStats, CostModel};
 use amped_sim::metrics::RunReport;
@@ -125,16 +127,27 @@ pub struct AmpedEngine {
     /// dynamic-queue schedule needs on heterogeneous platforms. All entries
     /// are equal on a homogeneous spec, making every ratio exactly 1.
     gpu_throughput: Vec<f64>,
+    /// Compiled-shard cache, `compiled[d][shard]` — the sort-once,
+    /// iterate-many layouts reused across ALS iterations when the runtime's
+    /// dispatch is [`DispatchKind::CompiledSegmented`]. Keyed by position in
+    /// the current plan: [`AmpedEngine::replan`] rebuilds mode `d`'s shard
+    /// list, so it clears `compiled[d]` (stale layouts would address the old
+    /// element order).
+    compiled: Vec<Vec<Option<CompiledShard>>>,
     obs: EngineMeters,
 }
 
 /// The engine's own telemetry handles (runtime-level counters live in the
-/// backend): nonzeros processed per executed shard, and replans applied.
+/// backend): nonzeros processed per executed shard, replans applied, and the
+/// compiled-shard cache traffic (compiles, warm hits, replan evictions).
 /// Detached — free — unless the runtime carries an attached registry.
 #[derive(Debug, Default)]
 struct EngineMeters {
     nnz_processed: Counter,
     replans: Counter,
+    shard_compiles: Counter,
+    compiled_cache_hits: Counter,
+    compiled_cache_evictions: Counter,
 }
 
 impl EngineMeters {
@@ -142,8 +155,19 @@ impl EngineMeters {
         Self {
             nnz_processed: registry.counter("nnz_processed"),
             replans: registry.counter("replans"),
+            shard_compiles: registry.counter("shard_compiles"),
+            compiled_cache_hits: registry.counter("compiled_cache_hits"),
+            compiled_cache_evictions: registry.counter("compiled_cache_evictions"),
         }
     }
+}
+
+/// One empty compiled-shard cache slot per prepared shard.
+fn empty_compiled_cache(mode_shards: &[Vec<ShardUnit>]) -> Vec<Vec<Option<CompiledShard>>> {
+    mode_shards
+        .iter()
+        .map(|ms| (0..ms.len()).map(|_| None).collect())
+        .collect()
 }
 
 /// Re-prices a shard's compute time (prepared against GPU `owner`'s spec)
@@ -276,7 +300,7 @@ impl AmpedEngine {
         runtime.alloc(Device::Host, plan.host_bytes(), "per-mode tensor copies")?;
 
         let cost = CostModel::default();
-        let mode_shards = (0..tensor.order())
+        let mode_shards: Vec<Vec<ShardUnit>> = (0..tensor.order())
             .map(|d| prepare_mode(runtime.as_ref(), &spec, &cost, &cfg, &plan, d))
             .collect();
         let throughput_query = PlatformCostQuery::new(
@@ -292,6 +316,7 @@ impl AmpedEngine {
             .map(|g| throughput_query.device_throughput(g))
             .collect();
         let obs = EngineMeters::attach(&runtime.metrics());
+        let compiled = empty_compiled_cache(&mode_shards);
         Ok(Self {
             runtime,
             spec,
@@ -299,6 +324,7 @@ impl AmpedEngine {
             plan,
             mode_shards,
             gpu_throughput,
+            compiled,
             obs,
         })
     }
@@ -400,6 +426,12 @@ impl AmpedEngine {
             d,
         );
         self.plan.preprocess_wall += start.elapsed().as_secs_f64();
+        // The new assignment re-shards the element order: every compiled
+        // layout for this mode addresses stale ranges, so evict them. They
+        // recompile lazily at next touch.
+        let evicted = self.compiled[d].iter().filter(|c| c.is_some()).count() as u64;
+        self.obs.compiled_cache_evictions.add(evicted);
+        self.compiled[d] = (0..self.mode_shards[d].len()).map(|_| None).collect();
         self.obs.replans.inc();
         Ok(())
     }
@@ -507,11 +539,13 @@ impl AmpedEngine {
             mode_shards,
             cfg,
             gpu_throughput,
+            compiled,
             obs,
             ..
         } = self;
         let tl = runtime.timeline();
         let runtime = runtime.as_mut();
+        let dispatch = runtime.tune().dispatch;
         let mut nnz_done: u64 = 0;
         let fviews = FactorsView::new(factors.iter().map(|f| f.as_slice()).collect(), rank);
 
@@ -546,7 +580,31 @@ impl AmpedEngine {
                 let blocks: Vec<_> = su.isps.iter().map(|u| u.range.clone()).collect();
                 let costs: Vec<f64> = su.isps.iter().map(|u| u.cost).collect();
                 nnz_done += blocks.iter().map(|b| b.len() as u64).sum::<u64>();
-                launch_mttkrp(runtime, g, &src, d, &fviews, &blocks, &costs, &out);
+                match dispatch {
+                    DispatchKind::ElementwisePrivatized => {
+                        launch_mttkrp(runtime, g, &src, d, &fviews, &blocks, &costs, &out);
+                    }
+                    DispatchKind::CompiledSegmented => {
+                        // Sort-once, iterate-many: compile at first touch of
+                        // this (mode, shard), then every later iteration
+                        // reuses the layout. The compile span makes the
+                        // one-time cost visible in Chrome traces.
+                        let slot = &mut compiled[d][sid];
+                        if slot.is_none() {
+                            let _compile = tl.as_ref().map(|t| t.span("compile", sid as u64));
+                            let lo = blocks.first().map_or(0, |r| r.start);
+                            let hi = blocks.last().map_or(lo, |r| r.end);
+                            *slot = Some(CompiledShard::compile(&src, d, mp_order, lo..hi));
+                            obs.shard_compiles.inc();
+                        } else {
+                            obs.compiled_cache_hits.inc();
+                        }
+                        let cs = slot.as_ref().expect("slot filled above");
+                        // Same grid shape (one block per ISP cost), so the
+                        // simulated pipeline timing is dispatch-independent.
+                        launch_mttkrp_compiled(runtime, g, cs, &fviews, &costs, &out);
+                    }
+                }
             }
             let end = compute_end.last().copied().unwrap_or(0.0);
             ends[g] = end;

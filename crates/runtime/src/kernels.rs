@@ -28,6 +28,7 @@
 //! path and `1`-ulp-bounded on the privatized path, which is what lets the
 //! autotuner search it freely.
 
+pub use crate::compiled::CompiledShard;
 use crate::params::{TuneParams, MAX_RANK_CHUNK};
 use crate::runtime::DeviceRuntime;
 use crate::smexec::{execute_blocks, GridTiming};
@@ -106,7 +107,7 @@ impl<'a> FactorsView<'a> {
 
     /// Row `i` of factor `m`.
     #[inline]
-    fn row(&self, m: usize, i: usize) -> &'a [f32] {
+    pub(crate) fn row(&self, m: usize, i: usize) -> &'a [f32] {
         &self.mats[m][i * self.rank..(i + 1) * self.rank]
     }
 }
@@ -167,7 +168,7 @@ impl MttkrpOut {
     /// Single-writer merge of an `f64` tile value at flat index `idx`: the
     /// running cell is widened, added, and rounded once.
     #[inline]
-    fn merge_f64(&self, idx: usize, v: f64) {
+    pub(crate) fn merge_f64(&self, idx: usize, v: f64) {
         let cell = &self.cells[idx];
         let cur = f32::from_bits(cell.load(Ordering::Relaxed)) as f64;
         cell.store(((cur + v) as f32).to_bits(), Ordering::Relaxed);
@@ -398,6 +399,50 @@ pub fn mttkrp_host<S: EcSource + ?Sized>(
             }
         },
     );
+}
+
+/// Launches one segmented-reduction MTTKRP grid over a pre-compiled shard
+/// through a [`DeviceRuntime`] — the iterate-many half of the sort-once,
+/// iterate-many path (see [`crate::compiled`]). The grid has exactly
+/// `costs.len()` blocks: the compiled segment list is split into that many
+/// contiguous, nnz-balanced segment ranges (tail blocks may be empty), so a
+/// launch presents the same grid shape to the runtime as the elementwise
+/// dispatch over the same ISP costs — simulated timing is unchanged by the
+/// dispatch choice; only real wall time differs.
+pub fn launch_mttkrp_compiled(
+    rt: &mut dyn DeviceRuntime,
+    gpu: usize,
+    shard: &CompiledShard,
+    factors: &FactorsView<'_>,
+    costs: &[f64],
+    out: &MttkrpOut,
+) -> GridTiming {
+    let rank_chunk = rt.tune().effective_rank_chunk();
+    let blocks = shard.segment_blocks(costs.len());
+    rt.launch_grid(
+        gpu,
+        &|b: usize| shard.run_segments(factors, blocks[b].clone(), rank_chunk, out),
+        costs,
+    )
+}
+
+/// Host-only segmented-reduction MTTKRP over a pre-compiled shard — the
+/// compiled analogue of [`mttkrp_host`] (no runtime, no simulated timing).
+/// Block count follows the worker pool (4 blocks per worker for load
+/// balance); the result is bit-identical at every block and worker count
+/// because segments are never split across blocks.
+pub fn mttkrp_host_compiled(
+    shard: &CompiledShard,
+    factors: &FactorsView<'_>,
+    tune: &TuneParams,
+    out: &MttkrpOut,
+) {
+    let workers = tune.effective_workers();
+    let rank_chunk = tune.effective_rank_chunk();
+    let blocks = shard.segment_blocks((workers * 4).max(4));
+    execute_blocks(workers, blocks.len(), |b| {
+        shard.run_segments(factors, blocks[b].clone(), rank_chunk, out)
+    });
 }
 
 /// Splits `0..n` into `parts` near-equal contiguous element ranges (at most

@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 use amped_linalg::Mat;
-use amped_runtime::kernels::{even_blocks, mttkrp_host, FactorsView, FnSource, MttkrpOut};
-use amped_runtime::TuneParams;
+use amped_runtime::kernels::{
+    even_blocks, mttkrp_host, mttkrp_host_compiled, CompiledShard, FactorsView, FnSource, MttkrpOut,
+};
+use amped_runtime::{DispatchKind, TuneParams};
 use amped_sim::host_workers;
 use amped_sim::obs::{warn_once, Counter, MetricsRegistry};
 use amped_tensor::gen::GenSpec;
@@ -44,6 +46,15 @@ pub const MAX_PROBE_NNZ: usize = 32_768;
 /// doubles as warmup and is timed like the rest — on a quiet machine it
 /// simply never wins).
 const PROBE_RUNS: usize = 4;
+
+/// Iterations a compiled shard's one-time compile is assumed to amortize
+/// over when the search scores [`DispatchKind::CompiledSegmented`]
+/// candidates: `score = exec + compile / TUNE_AMORTIZE_ITERS`. Sixteen is a
+/// conservative ALS run length — real decompositions run dozens of
+/// iterations, so if compiled wins under this pricing it wins in practice,
+/// while one-shot workloads mispredicted by at most `compile / 16` stay
+/// protected from a compile that could never pay for itself.
+pub const TUNE_AMORTIZE_ITERS: f64 = 16.0;
 
 /// The tensor-shape facts a search is keyed and provisioned by. Obtainable
 /// without touching payload data — the out-of-core engine builds one from
@@ -301,6 +312,19 @@ impl Autotuner {
                     ))),
                 }
             };
+            // `dispatch` is optional for backward compatibility: caches
+            // written before the dispatch axis existed load as the
+            // (bit-exact) elementwise default.
+            let dispatch = match param_fields.iter().find(|(k, _)| k == "dispatch") {
+                None => DispatchKind::ElementwisePrivatized,
+                Some((_, Value::Num(x))) if *x == 0.0 => DispatchKind::ElementwisePrivatized,
+                Some((_, Value::Num(x))) if *x == 1.0 => DispatchKind::CompiledSegmented,
+                Some((_, other)) => {
+                    return Err(malformed(format!(
+                        "entry {key:?} field \"dispatch\" is not 0 or 1: {other:?}"
+                    )))
+                }
+            };
             map.insert(
                 key.clone(),
                 TuneParams {
@@ -308,6 +332,7 @@ impl Autotuner {
                     workers: field("workers")?,
                     ooc_chunk_budget: field("ooc_chunk_budget")?,
                     prefetch_depth: field("prefetch_depth")?,
+                    dispatch,
                 },
             );
         }
@@ -334,6 +359,13 @@ impl Autotuner {
                                 Value::Num(p.ooc_chunk_budget as f64),
                             ),
                             ("prefetch_depth".into(), Value::Num(p.prefetch_depth as f64)),
+                            (
+                                "dispatch".into(),
+                                Value::Num(match p.dispatch {
+                                    DispatchKind::ElementwisePrivatized => 0.0,
+                                    DispatchKind::CompiledSegmented => 1.0,
+                                }),
+                            ),
                         ]),
                     )
                 })
@@ -387,9 +419,15 @@ fn subsample(t: &SparseTensor, max: usize) -> (Vec<Idx>, Vec<Val>) {
 }
 
 /// Benchmarks the candidate grid on the probe shard and returns the winner
-/// (defaults with the winning `rank_chunk`/`workers` substituted; the OOC
-/// pipeline knobs keep their defaults — double buffering already subsumes
-/// the blocking loop).
+/// (defaults with the winning `rank_chunk`/`workers`/`dispatch`
+/// substituted; the OOC pipeline knobs keep their defaults — double
+/// buffering already subsumes the blocking loop).
+///
+/// The dispatch axis is priced honestly: compiled-segmented candidates pay
+/// the probe's one-time compile *divided by* [`TUNE_AMORTIZE_ITERS`] on top
+/// of their measured execution time, since a real ALS run compiles each
+/// shard once and then iterates — raw per-launch time would overstate the
+/// compile, and ignoring it would let a pathological compile win for free.
 ///
 /// Per-mode indices are compacted to first-seen ranks so factor matrices
 /// stay probe-sized even for billion-row modes; compaction preserves the
@@ -438,25 +476,49 @@ fn search_grid(order: usize, rank: usize, coords: &[Idx], vals: &[Val]) -> TuneP
         worker_cands.push(hw);
     }
 
+    // One layout compile serves every compiled candidate; its wall time is
+    // the amortized cost the scores below charge.
+    let t0 = Instant::now();
+    let shard = CompiledShard::compile(&src, 0, order, 0..k);
+    let compile_s = t0.elapsed().as_secs_f64();
+    let amortized_compile = compile_s / TUNE_AMORTIZE_ITERS;
+
     let mut best = TuneParams::default();
-    let mut best_time = f64::INFINITY;
+    let mut best_score = f64::INFINITY;
     for &w in &worker_cands {
         let blocks = even_blocks(k, (w * 4).max(4));
         for &rc in &rc_cands {
-            let cand = TuneParams {
-                rank_chunk: rc,
-                workers: w,
-                ..TuneParams::default()
-            };
-            let mut elapsed = f64::INFINITY;
-            for _ in 0..PROBE_RUNS {
-                let t0 = Instant::now();
-                mttkrp_host(&src, 0, &views, &blocks, &cand, &out);
-                elapsed = elapsed.min(t0.elapsed().as_secs_f64());
-            }
-            if elapsed < best_time {
-                best_time = elapsed;
-                best = cand;
+            for dispatch in [
+                DispatchKind::ElementwisePrivatized,
+                DispatchKind::CompiledSegmented,
+            ] {
+                let cand = TuneParams {
+                    rank_chunk: rc,
+                    workers: w,
+                    dispatch,
+                    ..TuneParams::default()
+                };
+                let mut elapsed = f64::INFINITY;
+                for _ in 0..PROBE_RUNS {
+                    let t0 = Instant::now();
+                    match dispatch {
+                        DispatchKind::ElementwisePrivatized => {
+                            mttkrp_host(&src, 0, &views, &blocks, &cand, &out)
+                        }
+                        DispatchKind::CompiledSegmented => {
+                            mttkrp_host_compiled(&shard, &views, &cand, &out)
+                        }
+                    }
+                    elapsed = elapsed.min(t0.elapsed().as_secs_f64());
+                }
+                let score = match dispatch {
+                    DispatchKind::ElementwisePrivatized => elapsed,
+                    DispatchKind::CompiledSegmented => elapsed + amortized_compile,
+                };
+                if score < best_score {
+                    best_score = score;
+                    best = cand;
+                }
             }
         }
     }
@@ -580,6 +642,49 @@ mod tests {
         assert_eq!(p1, p2);
         assert_eq!(reg.counter_value("tune_searches", &[]), 1);
         assert_eq!(reg.counter_value("tune_cache_hits", &[]), 1);
+    }
+
+    #[test]
+    fn pre_dispatch_caches_load_with_the_elementwise_default() {
+        // A cache written before the dispatch axis existed (no "dispatch"
+        // field) must stay loadable — and resolve to the bit-exact default.
+        let path = tmp_file("predispatch.json");
+        std::fs::write(
+            &path,
+            r#"{"entries": {"k": {"rank_chunk": 32, "workers": 2,
+                "ooc_chunk_budget": 2, "prefetch_depth": 1}}}"#,
+        )
+        .expect("write");
+        let map = Autotuner::load_cache(&path).expect("old format loads");
+        assert_eq!(map["k"].dispatch, DispatchKind::ElementwisePrivatized);
+        assert_eq!(map["k"].workers, 2);
+    }
+
+    #[test]
+    fn dispatch_field_round_trips_and_rejects_garbage() {
+        let path = tmp_file("dispatch.json");
+        std::fs::write(
+            &path,
+            r#"{"entries": {"k": {"rank_chunk": 8, "workers": 1,
+                "ooc_chunk_budget": 2, "prefetch_depth": 1, "dispatch": 1}}}"#,
+        )
+        .expect("write");
+        let map = Autotuner::load_cache(&path).expect("dispatch=1 loads");
+        assert_eq!(map["k"].dispatch, DispatchKind::CompiledSegmented);
+
+        std::fs::write(
+            &path,
+            r#"{"entries": {"k": {"rank_chunk": 8, "workers": 1,
+                "ooc_chunk_budget": 2, "prefetch_depth": 1, "dispatch": 7}}}"#,
+        )
+        .expect("write");
+        assert!(
+            matches!(
+                Autotuner::load_cache(&path),
+                Err(TuneError::Malformed { .. })
+            ),
+            "unknown dispatch ordinal must be Malformed, not silently misread"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod prelude {
         PartiSystem, SystemRun,
     };
     pub use amped_core::als::{cp_als, AlsOptions, AlsResult, RebalanceOptions};
-    pub use amped_core::reference::{mttkrp_privatized, mttkrp_ref};
+    pub use amped_core::reference::{compile_mode, mttkrp_compiled, mttkrp_privatized, mttkrp_ref};
     pub use amped_core::{
         AmpedConfig, AmpedEngine, GatherAlgo, ModeTiming, MttkrpEngine, OocEngine, SchedulePolicy,
     };
@@ -57,9 +57,10 @@ pub mod prelude {
         RebalancingPlanner, UniformCost, WorkloadProfile,
     };
     pub use amped_runtime::{
-        chrome_trace, chrome_trace_string, launch_mttkrp, Collective, CpuParallelRuntime, Device,
-        DeviceRuntime, FactorBlock, FactorsView, FnSource, GridTiming, MttkrpOut, Platform,
-        SimRuntime, SpanPath, SpanScope, StragglerReport, Timeline, TracingRuntime, TuneParams,
+        chrome_trace, chrome_trace_string, launch_mttkrp, launch_mttkrp_compiled, Collective,
+        CompiledShard, CpuParallelRuntime, Device, DeviceRuntime, DispatchKind, FactorBlock,
+        FactorsView, FnSource, GridTiming, MttkrpOut, Platform, SimRuntime, SpanPath, SpanScope,
+        StragglerReport, Timeline, TracingRuntime, TuneParams,
     };
     pub use amped_sim::metrics::{geomean, RunReport};
     pub use amped_sim::obs::MetricsRegistry;
