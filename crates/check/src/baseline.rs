@@ -1,0 +1,114 @@
+//! The baseline ratchet: frozen architectural debt, diffed on every run.
+//!
+//! `check-baseline.toml` records a violation *count* per `(rule, file)`.
+//! A lint run fails only when a count exceeds its baseline entry — new debt
+//! is rejected while existing debt stays frozen. Counts below baseline are
+//! reported as ratchet slack so the baseline can be tightened (regenerate
+//! with `--write-baseline`). Keying on counts rather than line numbers keeps
+//! the baseline stable under unrelated edits that shift lines.
+//!
+//! The file is a two-level TOML subset written and parsed by hand (the
+//! container is offline, so no `toml` crate):
+//!
+//! ```toml
+//! [no-unwrap]
+//! "crates/core/src/ooc.rs" = 12
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Violation counts per rule, then per workspace-relative file path.
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Parse the baseline format. Unknown syntax is an error, not a skip — a
+/// silently mis-parsed baseline would un-freeze debt.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    let mut section: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = Some(name.to_string());
+            out.entry(name.to_string()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("baseline line {}: expected `\"file\" = N`", i + 1))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("baseline line {}: file path must be quoted", i + 1))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: count is not an integer", i + 1))?;
+        let rule = section
+            .clone()
+            .ok_or_else(|| format!("baseline line {}: entry before any [rule] section", i + 1))?;
+        out.entry(rule).or_default().insert(key.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Render a baseline back to its canonical text form (sorted, commented).
+pub fn render(b: &Baseline) -> String {
+    let mut s = String::from(
+        "# amped-check baseline: frozen architectural debt, one count per\n\
+         # (rule, file). Lint fails only when a count GROWS past its entry\n\
+         # here; shrink it by fixing debt and regenerating with\n\
+         #   cargo run -p amped-check -- lint --write-baseline\n\
+         # (see DESIGN.md section 14 for the ratchet policy).\n",
+    );
+    for (rule, files) in b {
+        let live: Vec<_> = files.iter().filter(|(_, &n)| n > 0).collect();
+        if live.is_empty() {
+            continue;
+        }
+        s.push('\n');
+        s.push_str(&format!("[{rule}]\n"));
+        for (file, n) in live {
+            s.push_str(&format!("{file:?} = {n}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::new();
+        b.entry("no-unwrap".into())
+            .or_default()
+            .insert("crates/core/src/ooc.rs".into(), 12);
+        b.entry("no-unwrap".into())
+            .or_default()
+            .insert("crates/sim/src/obs.rs".into(), 3);
+        b.entry("raw-atomic".into()).or_default(); // empty: dropped on render
+        let text = render(&b);
+        let back = parse(&text).expect("canonical text parses");
+        assert_eq!(back.get("no-unwrap"), b.get("no-unwrap"));
+        assert!(!text.contains("[raw-atomic]"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("garbage\n").is_err());
+        assert!(parse("\"x\" = 1\n").is_err(), "entry before section");
+        assert!(parse("[r]\nx = 1\n").is_err(), "unquoted path");
+        assert!(parse("[r]\n\"x\" = many\n").is_err(), "bad count");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = parse("# header\n\n[no-unwrap]\n# inline\n\"a.rs\" = 2\n").expect("parses");
+        assert_eq!(b["no-unwrap"]["a.rs"], 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Lexical scanner for Rust source: comment and string-literal stripping plus
+//! `#[cfg(test)]` region tracking, with no external parser (the build
+//! environment is offline, so we cannot lean on `syn`).
+//!
+//! The scanner is deliberately line-oriented: every rule in
+//! [`crate::rules`] looks at one *code line* (comments removed, string
+//! literal contents blanked but their delimiting quotes kept) together with
+//! the corresponding *raw line* (untouched, for extracting string keys and
+//! spotting justification comments). That keeps the rule engine trivial to
+//! audit — each rule is a substring scan over text that provably contains no
+//! comment or string-literal noise.
+
+/// One scanned source file, line-aligned across all three views.
+pub struct SourceFile {
+    /// Original lines, verbatim.
+    pub raw: Vec<String>,
+    /// Lines with comments removed and string/char literal contents blanked
+    /// (the delimiting quotes survive so call shapes stay recognizable).
+    pub code: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` module (inclusive of the
+    /// attribute line and the closing brace).
+    pub in_test: Vec<bool>,
+}
+
+/// Lexer mode carried across lines.
+enum Mode {
+    /// Plain code.
+    Code,
+    /// Inside a block comment, with nesting depth (Rust block comments nest).
+    Block(u32),
+    /// Inside a normal `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by `n` hashes.
+    RawStr(usize),
+}
+
+/// Scan a whole file into its line-aligned views.
+pub fn scan(src: &str) -> SourceFile {
+    let raw: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let mut code = Vec::with_capacity(raw.len());
+    let mut mode = Mode::Code;
+    for line in &raw {
+        code.push(strip_line(line, &mut mode));
+    }
+    let in_test = mark_test_regions(&code);
+    SourceFile { raw, code, in_test }
+}
+
+/// Strip one line under the running mode, returning the code-only text.
+fn strip_line(line: &str, mode: &mut Mode) -> String {
+    let b = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < b.len() {
+        match *mode {
+            Mode::Block(depth) => {
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    i += 2;
+                    if depth == 1 {
+                        *mode = Mode::Code;
+                    } else {
+                        *mode = Mode::Block(depth - 1);
+                    }
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    i += 2;
+                    *mode = Mode::Block(depth + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL: fine)
+                } else if b[i] == b'"' {
+                    out.push('"');
+                    i += 1;
+                    *mode = Mode::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b[i] == b'"' && has_hashes(b, i + 1, hashes) {
+                    out.push('"');
+                    i += 1 + hashes;
+                    *mode = Mode::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    break; // line comment: drop the rest of the line
+                }
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    i += 2;
+                    *mode = Mode::Block(1);
+                    continue;
+                }
+                if let Some((skip, hashes)) = raw_string_open(b, i) {
+                    out.push('"');
+                    i += skip;
+                    *mode = Mode::RawStr(hashes);
+                    continue;
+                }
+                if b[i] == b'"' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+                    if b[i] == b'b' {
+                        i += 1;
+                    }
+                    out.push('"');
+                    i += 1;
+                    *mode = Mode::Str;
+                    continue;
+                }
+                if b[i] == b'\'' {
+                    if let Some(end) = char_literal_end(b, i) {
+                        out.push_str("''");
+                        i = end;
+                        continue;
+                    }
+                    // Otherwise a lifetime: keep the tick and carry on.
+                    out.push('\'');
+                    i += 1;
+                    continue;
+                }
+                out.push(b[i] as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `n` consecutive `#` bytes starting at `pos`?
+fn has_hashes(b: &[u8], pos: usize, n: usize) -> bool {
+    if pos + n > b.len() {
+        return false;
+    }
+    b[pos..pos + n].iter().all(|&c| c == b'#')
+}
+
+/// Does a raw string literal (`r"…"`, `r#"…"#`, `br"…"`) open at `i`?
+/// Returns (bytes to skip past the opening quote, hash count).
+fn raw_string_open(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+        j += 1;
+    }
+    if b[j] != b'r' {
+        return None;
+    }
+    // Avoid treating the tail of an identifier (`for`, `ptr`) as a prefix.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    let mut k = j + 1;
+    let mut hashes = 0;
+    while k < b.len() && b[k] == b'#' {
+        hashes += 1;
+        k += 1;
+    }
+    if k < b.len() && b[k] == b'"' {
+        Some((k + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// If a char literal opens at `i` (a `'`), return the index one past its
+/// closing `'`; `None` means the tick is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: skip `\x`, then any run up to the closing quote
+        // (covers `'\n'`, `'\u{1F600}'`, `'\''`).
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return if j < b.len() { Some(j + 1) } else { None };
+    }
+    // Unescaped: a char literal is exactly one char then `'`. Anything else
+    // (identifier start, another tick) is a lifetime or bound.
+    let ch_len = match b[j] {
+        0x00..=0x7F => 1,
+        c if c >= 0xF0 => 4,
+        c if c >= 0xE0 => 3,
+        _ => 2,
+    };
+    if j + ch_len < b.len() && b[j + ch_len] == b'\'' {
+        Some(j + ch_len + 1)
+    } else {
+        None
+    }
+}
+
+/// Mark lines belonging to `#[cfg(test)]` modules by brace tracking over the
+/// stripped code text.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    // Depth *outside* the test mod; region is live while depth > this.
+    let mut region_floor: Option<i64> = None;
+    let mut pending_attr = false;
+    for (idx, line) in code.iter().enumerate() {
+        let trimmed = line.trim();
+        let has_cfg_test = trimmed.contains("#[cfg(test)]");
+        let opens_mod = trimmed.contains("mod ") && trimmed.contains('{');
+        if region_floor.is_none() {
+            if has_cfg_test {
+                pending_attr = true;
+                in_test[idx] = true;
+                if opens_mod {
+                    // `#[cfg(test)] mod t { … }` on one line.
+                    region_floor = Some(depth);
+                    pending_attr = false;
+                }
+            } else if pending_attr {
+                in_test[idx] = true;
+                if opens_mod {
+                    region_floor = Some(depth);
+                    pending_attr = false;
+                } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                    // The attribute gated something other than an inline mod
+                    // (e.g. a `mod x;` or a use): stop marking.
+                    pending_attr = false;
+                    in_test[idx] = trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ");
+                }
+            }
+        } else {
+            in_test[idx] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let sf = scan("let x = 1; // .unwrap() here is commentary\n");
+        assert_eq!(sf.code[0].trim(), "let x = 1;");
+        assert!(sf.raw[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let sf = scan("a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ c\n");
+        assert_eq!(sf.code[0].replace(' ', ""), "ab");
+        assert_eq!(sf.code[1], "");
+        assert_eq!(sf.code[2], "");
+        assert_eq!(sf.code[3].trim(), "c");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let sf = scan(r#"warn(".unwrap() // not a comment", x);"#);
+        assert_eq!(sf.code[0], r#"warn("", x);"#);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let sf = scan("let s = r#\"has \" quote and .expect( \"# ; tail();\n");
+        assert!(sf.code[0].contains("tail();"));
+        assert!(!sf.code[0].contains(".expect("));
+        let sf = scan(r#"let s = "escaped \" quote .expect("; tail();"#);
+        assert!(sf.code[0].contains("tail();"));
+        assert!(!sf.code[0].contains(".expect("));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let sf = scan("if c == '\"' { x('\\''); } else { y::<'a, T>(); }\n");
+        assert!(sf.code[0].contains("y::<'a, T>();"));
+        let sf = scan("let q = '\"'; let u = s.unwrap();\n");
+        assert!(sf.code[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn lib2() {}\n";
+        let sf = scan(src);
+        assert_eq!(
+            sf.in_test,
+            vec![false, true, true, true, true, false],
+            "attribute through closing brace, exclusive of surrounding code"
+        );
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_marked() {
+        let src = "#[cfg(test)]\nmod t {\n fn a() { if x { y(); } }\n}\nfn b() {}\n";
+        let sf = scan(src);
+        assert_eq!(sf.in_test, vec![true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI for the architectural lint: `cargo run -p amped-check -- lint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: amped-check lint [--write-baseline] [--root <dir>]\n\
+                     \n\
+                     Scans workspace library sources against the architectural\n\
+                     rule set and diffs violation counts with check-baseline.toml.\n\
+                     Exits non-zero on any violation not frozen by the baseline.\n\
+                     --write-baseline  rewrite the baseline to the current counts\n\
+                     --root <dir>      lint a different tree (default: this repo)";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut cmd = None;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("lint") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let root = root.unwrap_or_else(amped_check::repo_root);
+    let baseline_path = root.join("check-baseline.toml");
+
+    let violations = match amped_check::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("amped-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let counts = amped_check::count_by_rule_file(&violations);
+        let text = amped_check::baseline::render(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("amped-check: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "amped-check: wrote {} ({} violation(s) frozen)",
+            baseline_path.display(),
+            counts.values().flat_map(|m| m.values()).sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match amped_check::baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("amped-check: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            amped_check::baseline::Baseline::new()
+        }
+        Err(e) => {
+            eprintln!("amped-check: read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = amped_check::diff_against_baseline(violations, &base);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: library code every rule should pass — the lexer must see
+//! through the decoys below (comments and strings mentioning AtomicUsize,
+//! thread::spawn, .unwrap(), Ordering::Relaxed are not code).
+pub fn checked_parse(s: &str) -> Result<usize, String> {
+    // A comment can say .unwrap() or panic!() freely; so can a string:
+    let decoy = "AtomicUsize::new(0); thread::spawn; Ordering::Relaxed";
+    let raw = r#"x.unwrap() += 1.0f32"#;
+    s.parse()
+        .map_err(|e| format!("{decoy}/{raw} parse error: {e}"))
+}
+
+pub fn sum_f64(xs: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in xs {
+        acc += f64::from(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let n = AtomicUsize::new(1);
+        n.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        let v: usize = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: two `warn_once` call sites sharing a key.
+pub fn configure(depth: usize) {
+    if depth == 0 {
+        crate::obs::warn_once("pipeline-depth", "depth 0: prefetch disabled");
+    }
+    if depth > 64 {
+        crate::obs::warn_once("pipeline-depth", "depth too large, clamping");
+    }
+    crate::obs::warn_once("pipeline-clamped", "window clamped to chunk count");
+}

@@ -1,0 +1,8 @@
+//! Fixture: direct f32 accumulation outside the kernel layer.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += (x * y) as f32;
+    }
+    acc
+}

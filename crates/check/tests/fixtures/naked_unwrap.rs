@@ -1,0 +1,18 @@
+//! Fixture: unwrap/expect/panic in library code, plus exempt test-mod uses.
+pub fn parse(s: &str) -> usize {
+    let n: usize = s.parse().unwrap();
+    if n == 0 {
+        panic!("zero");
+    }
+    std::env::var("HOME").expect("HOME unset");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let n: usize = "3".parse().unwrap();
+        assert_eq!(n, 3);
+    }
+}

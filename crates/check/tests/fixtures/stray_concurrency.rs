@@ -1,0 +1,8 @@
+//! Fixture: raw atomics and thread spawning outside the concurrency layer.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn racy_counter() -> usize {
+    let n = AtomicUsize::new(0);
+    std::thread::spawn(|| ());
+    n.load(Ordering::SeqCst)
+}

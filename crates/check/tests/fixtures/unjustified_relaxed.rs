@@ -1,0 +1,14 @@
+//! Fixture: one unjustified and one justified `Ordering::Relaxed`.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+pub static MISSES: AtomicUsize = AtomicUsize::new(0);
+
+pub fn miss() {
+    MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn hit() {
+    // relaxed: monotonic counter, read only for reporting.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

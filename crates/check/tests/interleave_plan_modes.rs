@@ -1,0 +1,128 @@
+//! Bounded interleaving exploration of the `plan_modes` protocol.
+//!
+//! Mirrors `amped_partition::plan::plan_modes`: workers claim mode indices
+//! from a shared atomic counter and publish each built plan into a
+//! per-mode once-slot (the production code's `OnceLock<Result<T, E>>`).
+//! The schedule-exhaustive asserts prove the two properties the production
+//! code's `.expect("every mode planned")` relies on: every slot is filled
+//! (no lost mode) and every `set` wins (no double-build — claims are
+//! disjoint, so no worker ever races a slot).
+
+use crossbeam::check::{AtomicUsize, Explorer, OnceSlot};
+use std::sync::Mutex;
+
+fn run_plan_modes(workers: usize, order: usize) -> usize {
+    let report = Explorer::new(50_000).explore(|trial| {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceSlot<usize>> = (0..order).map(|_| OnceSlot::new()).collect();
+        // Each worker tallies its own set() outcomes in an uncontended slot.
+        let set_wins: Vec<Mutex<usize>> = (0..workers).map(|_| Mutex::new(0)).collect();
+        let threads: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                let slots = &slots;
+                let set_wins = &set_wins;
+                Box::new(move || loop {
+                    let d = next.fetch_add(1);
+                    if d >= order {
+                        break;
+                    }
+                    // build(d): deterministic function of the mode index, so
+                    // the final slot contents are schedule-independent.
+                    if slots[d].set(d * 10 + 7) {
+                        *set_wins[w].lock().expect("uncontended") += 1;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        trial.run(threads);
+
+        // No lost mode: every slot filled, with the deterministic value —
+        // the production `.expect("every mode planned")` can never fire.
+        let total_wins: usize = set_wins.iter().map(|m| *m.lock().expect("joined")).sum();
+        assert_eq!(
+            total_wins, order,
+            "exactly one winning set() per mode in every schedule"
+        );
+        for (d, slot) in slots.into_iter().enumerate() {
+            assert_eq!(
+                slot.into_value(),
+                Some(d * 10 + 7),
+                "mode {d} must be planned exactly once with its own build"
+            );
+        }
+    });
+    assert!(
+        report.complete,
+        "plan_modes space must be exhausted within the bound \
+         (ran {} schedules)",
+        report.schedules
+    );
+    assert_eq!(report.deadlocks, 0);
+    report.schedules
+}
+
+#[test]
+fn every_mode_is_planned_exactly_once() {
+    // The paper's 3-mode tensor planned by two workers — the shape
+    // `plan_modes` runs on a 2-core host (3 workers × 3 modes exceeds the
+    // exhaustible bound; worker count does not change the protocol).
+    let schedules = run_plan_modes(2, 3);
+    assert!(
+        schedules >= 100,
+        "acceptance: >= 100 distinct schedules explored, got {schedules}"
+    );
+}
+
+#[test]
+fn plan_modes_holds_when_workers_outnumber_modes() {
+    let schedules = run_plan_modes(3, 2);
+    assert!(schedules >= 100, "got {schedules}");
+}
+
+#[test]
+fn a_shared_slot_index_race_is_caught_by_the_explorer() {
+    // Negative control: break the disjoint-claim property by having the
+    // claim counter wrap onto already-claimed slots (`d % order`), so two
+    // workers race the same once-slot. Exactly one set() must win per slot
+    // in every schedule — and *which* candidate wins depends on the
+    // interleaving, so across the exhaustive exploration both candidate
+    // values for slot 0 must be observed. That proves the harness genuinely
+    // drives the slot race through different orders rather than replaying
+    // one lucky schedule.
+    let order = 2usize;
+    let mut slot0_winners = std::collections::BTreeSet::new();
+    Explorer::new(50_000).explore(|trial| {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceSlot<usize>> = (0..order).map(|_| OnceSlot::new()).collect();
+        let threads: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+            .map(|_| {
+                let next = &next;
+                let slots = &slots;
+                Box::new(move || loop {
+                    let d = next.fetch_add(1);
+                    if d >= 2 * order {
+                        break;
+                    }
+                    let _ = slots[d % order].set(d);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        trial.run(threads);
+        let mut slots = slots.into_iter();
+        let winner = slots
+            .next()
+            .and_then(OnceSlot::into_value)
+            .expect("slot 0 is always set by someone");
+        assert!(
+            winner == 0 || winner == order,
+            "slot 0 can only be won by its two candidates, got {winner}"
+        );
+        slot0_winners.insert(winner);
+    });
+    assert_eq!(
+        slot0_winners.into_iter().collect::<Vec<_>>(),
+        vec![0, order],
+        "both racing candidates must win slot 0 in some schedule"
+    );
+}

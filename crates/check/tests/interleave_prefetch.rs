@@ -1,0 +1,238 @@
+//! Bounded interleaving exploration of the OOC double-buffer prefetch
+//! handshake.
+//!
+//! Mirrors `pipeline_chunks` in `amped-core`'s `ooc.rs`: a main thread
+//! stages chunk reads against a host budget and ships them to a reader
+//! thread over a request channel; decoded chunks come back FIFO over a
+//! result channel; on error the main thread closes the request side and
+//! drains in-flight reservations so every staged byte returns to the
+//! budget. The explorer proves, over every bounded interleaving: the two
+//! threads never deadlock (including the shutdown drain), every chunk is
+//! executed exactly once in index order, and the budget settles to zero —
+//! on the happy path, under budget stalls, and on mid-stream read errors.
+
+use crossbeam::check::{Channel, Explorer};
+use std::sync::Mutex;
+
+/// A staged read in flight to the reader thread (`StagedRead` stand-in).
+struct Staged {
+    k: usize,
+    bytes: u64,
+}
+
+/// What the reader sends back: the decoded chunk or the failing index.
+type ReadResult = Result<(usize, u64), usize>;
+
+/// End-of-run state of the main thread, captured for the per-schedule
+/// asserts.
+#[derive(Debug)]
+struct Outcome {
+    executed: Vec<usize>,
+    budget_used: u64,
+    prefetch_hits: usize,
+    stage_stalls: usize,
+    error: Option<String>,
+}
+
+/// One exploration of the pipeline over `n` chunks of the given sizes.
+/// `capacity` is the staging budget; `fail_at` makes the reader's decode of
+/// that chunk fail (a mid-stream I/O error). Returns the report plus the
+/// outcome of the last schedule (every schedule's outcome is asserted
+/// inside; the caller only needs one representative for shape checks).
+fn run_pipeline(
+    depth: usize,
+    bytes: &[u64],
+    capacity: u64,
+    fail_at: Option<usize>,
+    check: impl Fn(&Outcome),
+) -> usize {
+    let n = bytes.len();
+    let report = Explorer::new(50_000).explore(|trial| {
+        let req: Channel<Staged> = Channel::new();
+        let res: Channel<ReadResult> = Channel::new();
+        let out: Mutex<Option<Outcome>> = Mutex::new(None);
+
+        let reader = {
+            let req = &req;
+            let res = &res;
+            Box::new(move || {
+                // Reader thread: decode staged requests FIFO until the
+                // request channel closes (`for staged in req_rx.iter()`).
+                while let Ok(staged) = req.recv() {
+                    let r = if Some(staged.k) == fail_at {
+                        Err(staged.k)
+                    } else {
+                        Ok((staged.k, staged.bytes))
+                    };
+                    res.send(r);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        };
+
+        let main = {
+            let req = &req;
+            let res = &res;
+            let out = &out;
+            Box::new(move || {
+                let mut used = 0u64;
+                let mut in_flight: std::collections::VecDeque<(usize, u64)> =
+                    std::collections::VecDeque::new();
+                let mut next_stage = 0usize;
+                let mut executed = Vec::new();
+                let mut hits = 0usize;
+                let mut stalls = 0usize;
+                let mut error: Option<String> = None;
+                'chunks: for k in 0..n {
+                    // Top up the prefetch window (stage() = budget charge).
+                    while next_stage < n && next_stage <= k + depth {
+                        let b = bytes[next_stage];
+                        if used + b > capacity {
+                            if in_flight.is_empty() && next_stage == k {
+                                error = Some("oom".into());
+                                break 'chunks;
+                            }
+                            stalls += 1;
+                            break;
+                        }
+                        used += b;
+                        in_flight.push_back((next_stage, b));
+                        req.send(Staged {
+                            k: next_stage,
+                            bytes: b,
+                        });
+                        next_stage += 1;
+                    }
+                    let chunk = if in_flight.front().map(|f| f.0) == Some(k) {
+                        let (_, b) = in_flight.pop_front().expect("front checked");
+                        match res.recv() {
+                            Ok(Ok((kk, bb))) => {
+                                // finish_stage: the reservation becomes the
+                                // resident chunk. FIFO gives result order =
+                                // stage order.
+                                assert_eq!(kk, k, "results must come back FIFO");
+                                hits += 1;
+                                (kk, bb)
+                            }
+                            Ok(Err(_)) => {
+                                used -= b; // fail_stage
+                                error = Some("read failed".into());
+                                break 'chunks;
+                            }
+                            Err(_) => {
+                                used -= b; // fail_stage
+                                error = Some("reader disconnected".into());
+                                break 'chunks;
+                            }
+                        }
+                    } else {
+                        // The synchronous fallback (`load_chunk`). With a
+                        // budget private to the pipeline this branch is
+                        // unreachable — see the interleave_* notes in
+                        // DESIGN.md §14 — but modeled for fidelity.
+                        let b = bytes[k];
+                        if used + b > capacity {
+                            error = Some("oom".into());
+                            break 'chunks;
+                        }
+                        used += b;
+                        (k, b)
+                    };
+                    executed.push(chunk.0);
+                    used -= chunk.1; // release
+                }
+                // Shutdown: close the request side, then drain every
+                // outstanding reservation back to the budget.
+                req.close();
+                for (_, b) in in_flight.drain(..) {
+                    match res.recv() {
+                        Ok(Ok((_, bb))) => used -= bb, // release
+                        _ => used -= b,                // fail_stage
+                    }
+                }
+                *out.lock().expect("main thread only") = Some(Outcome {
+                    executed,
+                    budget_used: used,
+                    prefetch_hits: hits,
+                    stage_stalls: stalls,
+                    error,
+                });
+            }) as Box<dyn FnOnce() + Send + '_>
+        };
+
+        trial.run(vec![reader, main]);
+        let outcome = out
+            .lock()
+            .expect("threads joined")
+            .take()
+            .expect("main thread finished");
+        // Universal invariants, every schedule: the budget settles to zero
+        // and no chunk executes twice or out of order.
+        assert_eq!(outcome.budget_used, 0, "leaked budget: {outcome:?}");
+        assert!(
+            outcome.executed.windows(2).all(|w| w[0] < w[1]),
+            "chunks executed out of order: {outcome:?}"
+        );
+        check(&outcome);
+    });
+    assert!(
+        report.complete,
+        "prefetch-handshake space must be exhausted (ran {} schedules)",
+        report.schedules
+    );
+    assert_eq!(report.deadlocks, 0);
+    report.schedules
+}
+
+#[test]
+fn happy_path_executes_every_chunk_in_order_with_full_overlap() {
+    let schedules = run_pipeline(2, &[1, 1, 1, 1], 10, None, |o| {
+        assert_eq!(o.executed, vec![0, 1, 2, 3]);
+        assert_eq!(o.prefetch_hits, 4, "ample budget: every chunk overlaps");
+        assert_eq!(o.error, None);
+    });
+    assert!(
+        schedules >= 100,
+        "acceptance: >= 100 distinct schedules explored, got {schedules}"
+    );
+}
+
+#[test]
+fn budget_stall_narrows_the_window_but_loses_nothing() {
+    // Capacity fits one chunk: every top-up past the resident chunk stalls,
+    // degrading to the blocking cadence — but never dropping, duplicating,
+    // or reordering a chunk, and never deadlocking on the narrowed window.
+    let schedules = run_pipeline(2, &[1, 1, 1, 1], 2, None, |o| {
+        assert_eq!(o.executed, vec![0, 1, 2, 3]);
+        assert!(
+            o.stage_stalls > 0,
+            "capacity 2 must stall the depth-2 window"
+        );
+        assert_eq!(o.error, None);
+    });
+    assert!(schedules >= 100, "got {schedules}");
+}
+
+#[test]
+fn mid_stream_read_error_drains_reservations_back_to_the_budget() {
+    // Chunk 1's decode fails: chunk 0 must have executed, the error must
+    // surface, and — the part the drain loop exists for — the reservation
+    // for any chunk staged beyond the failure must settle back to the
+    // budget without deadlocking against the reader thread.
+    let schedules = run_pipeline(2, &[1, 1, 1, 1], 10, Some(1), |o| {
+        assert_eq!(o.executed, vec![0], "only the chunk before the failure");
+        assert_eq!(o.error.as_deref(), Some("read failed"));
+    });
+    assert!(schedules >= 100, "got {schedules}");
+}
+
+#[test]
+fn first_chunk_oversized_is_a_clean_oom() {
+    // Even one chunk does not fit: the pipeline must report OOM with
+    // nothing executed and nothing leaked (the `in_flight.is_empty() &&
+    // next_stage == k` arm), and still shut the reader down cleanly.
+    run_pipeline(1, &[5, 1], 4, None, |o| {
+        assert_eq!(o.executed, Vec::<usize>::new());
+        assert_eq!(o.error.as_deref(), Some("oom"));
+        assert_eq!(o.prefetch_hits, 0);
+    });
+}

@@ -26,6 +26,10 @@ where
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
+                // relaxed: mode indices are claimed by RMW atomicity alone;
+                // the built plans are published through OnceLock::set's
+                // internal Release/Acquire, then the scope join.
+                // (Interleaving-verified: tests/interleave_plan_modes.rs.)
                 let d = next.fetch_add(1, Ordering::Relaxed);
                 if d >= order {
                     break;

@@ -145,6 +145,8 @@ impl MttkrpOut {
     /// Reads entry `(r, c)` (valid once all writers are joined).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
+        // relaxed: per the doc contract, reads are only valid after writers
+        // are joined; the join edge orders them, not this load.
         f32::from_bits(self.cells[r * self.rank + c].load(Ordering::Relaxed))
     }
 
@@ -152,6 +154,7 @@ impl MttkrpOut {
     pub fn to_vec(&self) -> Vec<f32> {
         self.cells
             .iter()
+            // relaxed: same post-join contract as `get`.
             .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
             .collect()
     }
@@ -161,6 +164,8 @@ impl MttkrpOut {
     #[inline]
     fn add_f32(&self, idx: usize, v: f32) {
         let cell = &self.cells[idx];
+        // relaxed: single-writer cell (row ownership partitions writers), so
+        // the load/store pair never races; joins publish the final value.
         let cur = f32::from_bits(cell.load(Ordering::Relaxed));
         cell.store((cur + v).to_bits(), Ordering::Relaxed);
     }
@@ -170,6 +175,8 @@ impl MttkrpOut {
     #[inline]
     pub(crate) fn merge_f64(&self, idx: usize, v: f64) {
         let cell = &self.cells[idx];
+        // relaxed: single-writer cell (the merge phase assigns each output
+        // row span to exactly one thread); joins publish the final value.
         let cur = f32::from_bits(cell.load(Ordering::Relaxed)) as f64;
         cell.store(((cur + v) as f32).to_bits(), Ordering::Relaxed);
     }

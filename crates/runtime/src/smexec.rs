@@ -112,6 +112,10 @@ where
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
+                // relaxed: the claim counter only partitions block indices —
+                // each fetch_add yields a unique b by RMW atomicity alone.
+                // Output visibility is ordered by the scope join, not here.
+                // (Interleaving-verified: tests/interleave_claim.rs.)
                 let b = next.fetch_add(1, Ordering::Relaxed);
                 if b >= num_blocks {
                     break;

@@ -12,9 +12,13 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Atomically adds `delta` to the `f32` stored in `cell`'s bits.
 #[inline]
 pub fn atomic_add_f32(cell: &AtomicU32, delta: f32) {
+    // relaxed: single-cell CAS loop — no other memory is published through
+    // this cell, and cross-thread visibility of the final sums comes from
+    // the thread-join (scope exit) Release/Acquire edge.
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = f32::from_bits(cur) + delta;
+        // relaxed: CAS retry on the same single cell (argument above).
         match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
@@ -63,6 +67,8 @@ impl AtomicMat {
     /// Non-atomic read of entry `(r, c)` (valid once writers are joined).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
+        // relaxed: per the doc contract, reads are only valid after writers
+        // are joined; the join edge orders them, not this load.
         f32::from_bits(self.data[r * self.cols + c].load(Ordering::Relaxed))
     }
 
@@ -70,6 +76,7 @@ impl AtomicMat {
     pub fn to_vec(&self) -> Vec<f32> {
         self.data
             .iter()
+            // relaxed: same post-join contract as `get`.
             .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
             .collect()
     }
@@ -77,6 +84,8 @@ impl AtomicMat {
     /// Resets every entry to zero.
     pub fn zero(&self) {
         for a in &self.data {
+            // relaxed: reset runs with no concurrent writers (unique phase
+            // between kernel launches); spawn/join edges order it.
             a.store(0f32.to_bits(), Ordering::Relaxed);
         }
     }

@@ -69,11 +69,15 @@ impl HistogramCore {
         let idx = (0..HISTOGRAM_BUCKETS)
             .find(|&i| v <= bucket_bound(i))
             .unwrap_or(HISTOGRAM_BUCKETS);
+        // relaxed: independent monotonic tallies — readers tolerate a
+        // bucket/count/sum triple from slightly different instants, and no
+        // non-atomic data is guarded by these cells.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
+            // relaxed: single-cell CAS on the sum bits; same argument.
             match self.sum_bits.compare_exchange_weak(
                 cur,
                 next,
@@ -104,6 +108,7 @@ impl Counter {
     /// Adds `v` to the counter.
     pub fn add(&self, v: u64) {
         if let Some(c) = &self.cell {
+            // relaxed: monotonic event count; nothing is ordered around it.
             c.fetch_add(v, Ordering::Relaxed);
         }
     }
@@ -117,6 +122,7 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell
             .as_ref()
+            // relaxed: observability snapshot; staleness is acceptable.
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
@@ -132,6 +138,7 @@ impl Gauge {
     /// Sets the gauge to `v`.
     pub fn set(&self, v: f64) {
         if let Some(c) = &self.cell {
+            // relaxed: last-write-wins gauge; no ordering contract.
             c.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -140,6 +147,7 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         self.cell
             .as_ref()
+            // relaxed: observability snapshot; staleness is acceptable.
             .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
             .unwrap_or(0.0)
     }
@@ -163,6 +171,7 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.core
             .as_ref()
+            // relaxed: observability snapshot; staleness is acceptable.
             .map(|c| c.count.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
@@ -171,6 +180,7 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.core
             .as_ref()
+            // relaxed: observability snapshot; staleness is acceptable.
             .map(|c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
             .unwrap_or(0.0)
     }
@@ -283,6 +293,7 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else { return 0 };
         let map = inner.metrics.lock().expect("metrics lock");
         match map.get(&Self::key(name, labels)) {
+            // relaxed: observability snapshot; staleness is acceptable.
             Some(Metric::Counter(c)) => c.load(Ordering::Relaxed),
             _ => 0,
         }
@@ -316,6 +327,10 @@ impl MetricsRegistry {
                 format!("{{{}}}", parts.join(","))
             }
         };
+        // All metric loads below are relaxed: the exposition is a racy
+        // point-in-time snapshot by design — each cell is read once and no
+        // cross-metric consistency is promised (Prometheus scrapes tolerate
+        // this; see DESIGN.md §9).
         let map = inner.metrics.lock().expect("metrics lock");
         let mut out = String::new();
         let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
@@ -330,6 +345,7 @@ impl MetricsRegistry {
                         out,
                         "{base}_total{} {}",
                         render_labels(labels, None),
+                        // relaxed: snapshot read (header comment above).
                         c.load(Ordering::Relaxed)
                     )
                     .expect("string write");
@@ -342,6 +358,7 @@ impl MetricsRegistry {
                         out,
                         "{base}{} {}",
                         render_labels(labels, None),
+                        // relaxed: snapshot read (header comment above).
                         f64::from_bits(c.load(Ordering::Relaxed))
                     )
                     .expect("string write");
@@ -352,6 +369,7 @@ impl MetricsRegistry {
                     }
                     let mut cum = 0u64;
                     for i in 0..HISTOGRAM_BUCKETS {
+                        // relaxed: snapshot read (header comment above).
                         cum += h.buckets[i].load(Ordering::Relaxed);
                         writeln!(
                             out,
@@ -360,6 +378,7 @@ impl MetricsRegistry {
                         )
                         .expect("string write");
                     }
+                    // relaxed: snapshot read (header comment above).
                     cum += h.buckets[HISTOGRAM_BUCKETS].load(Ordering::Relaxed);
                     writeln!(
                         out,
@@ -371,6 +390,7 @@ impl MetricsRegistry {
                         out,
                         "{base}_sum{} {}",
                         render_labels(labels, None),
+                        // relaxed: snapshot read (header comment above).
                         f64::from_bits(h.sum_bits.load(Ordering::Relaxed))
                     )
                     .expect("string write");
@@ -378,6 +398,7 @@ impl MetricsRegistry {
                         out,
                         "{base}_count{} {}",
                         render_labels(labels, None),
+                        // relaxed: snapshot read (header comment above).
                         h.count.load(Ordering::Relaxed)
                     )
                     .expect("string write");

@@ -15,13 +15,23 @@ pub enum StreamError {
         /// The underlying error.
         source: std::io::Error,
     },
-    /// A structurally invalid `.tnsb` file (bad magic, truncated payload,
-    /// out-of-range coordinates, …).
+    /// A structurally invalid `.tnsb` file (bad magic, out-of-range
+    /// coordinates, inconsistent directory, …).
     Format {
         /// The offending file.
         path: PathBuf,
         /// What was wrong.
         msg: String,
+    },
+    /// A read that ran past the end of the available bytes — the file is
+    /// shorter than its own header or chunk directory claims.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset at which decoding stopped.
+        offset: usize,
+        /// How many more bytes the decoder needed.
+        needed: usize,
     },
     /// A `.tns` text parse failure during conversion.
     Tns(TnsError),
@@ -42,6 +52,17 @@ impl std::fmt::Display for StreamError {
             StreamError::Format { path, msg } => {
                 write!(f, "invalid .tnsb file {}: {msg}", path.display())
             }
+            StreamError::Truncated {
+                path,
+                offset,
+                needed,
+            } => {
+                write!(
+                    f,
+                    "truncated .tnsb file {}: needed {needed} more byte(s) at offset {offset}",
+                    path.display()
+                )
+            }
             StreamError::Tns(e) => write!(f, ".tns parse error: {e}"),
             StreamError::Sim(e) => write!(f, "{e}"),
             StreamError::Plan(e) => write!(f, "streaming pass 1: {e}"),
@@ -56,7 +77,7 @@ impl std::error::Error for StreamError {
             StreamError::Tns(e) => Some(e),
             StreamError::Sim(e) => Some(e),
             StreamError::Plan(e) => Some(e),
-            StreamError::Format { .. } => None,
+            StreamError::Format { .. } | StreamError::Truncated { .. } => None,
         }
     }
 }
@@ -93,6 +114,16 @@ impl StreamError {
         StreamError::Format {
             path: path.into(),
             msg: msg.into(),
+        }
+    }
+
+    /// Builds a truncation error for `path` at `offset`, `needed` bytes
+    /// short.
+    pub fn truncated(path: impl Into<PathBuf>, offset: usize, needed: usize) -> Self {
+        StreamError::Truncated {
+            path: path.into(),
+            offset,
+            needed,
         }
     }
 

@@ -355,30 +355,32 @@ impl<'a> Dec<'a> {
             .off
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| {
-                StreamError::format(self.path, format!("truncated at byte {}", self.off))
-            })?;
+            .ok_or_else(|| StreamError::truncated(self.path, self.off, n))?;
         let s = &self.bytes[self.off..end];
         self.off = end;
         Ok(s)
     }
 
+    /// `take(N)` as a fixed-width array, with the length mismatch (which
+    /// `take` already rules out) folded into the same typed truncation
+    /// error instead of a panic path.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], StreamError> {
+        let (path, off) = (self.path, self.off);
+        self.take(N)?
+            .try_into()
+            .map_err(|_| StreamError::truncated(path, off, N))
+    }
+
     fn u32(&mut self) -> Result<u32, StreamError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn u64(&mut self) -> Result<u64, StreamError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, StreamError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 }
 
@@ -592,7 +594,7 @@ mod tests {
         let err = read_tnsb_meta(&path).unwrap_err();
         assert!(matches!(
             err,
-            StreamError::Io { .. } | StreamError::Format { .. }
+            StreamError::Io { .. } | StreamError::Format { .. } | StreamError::Truncated { .. }
         ));
         std::fs::remove_file(path).ok();
     }

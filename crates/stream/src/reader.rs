@@ -136,26 +136,33 @@ fn decode_payload(
         let buf = &mut slab[..n * elem_sz];
         file.read_exact(buf).map_err(|e| StreamError::io(path, e))?;
         for rec in buf.chunks_exact(elem_sz) {
-            for m in 0..order {
-                let idx = Idx::from_le_bytes(rec[m * 4..m * 4 + 4].try_into().expect("4 bytes"));
-                if idx >= shape[m] {
+            for (m, &dim) in shape.iter().enumerate().take(order) {
+                let idx = Idx::from_le_bytes(le4(path, rec, m * 4)?);
+                if idx >= dim {
                     return Err(StreamError::format(
                         path,
                         format!(
-                            "chunk {c}: coordinate {idx} out of bounds for mode {m} (size {})",
-                            shape[m]
+                            "chunk {c}: coordinate {idx} out of bounds for mode {m} (size {dim})"
                         ),
                     ));
                 }
                 coords.push(idx);
             }
-            values.push(Val::from_le_bytes(
-                rec[order * 4..].try_into().expect("4 bytes"),
-            ));
+            values.push(Val::from_le_bytes(le4(path, rec, order * 4)?));
         }
         done += n;
     }
     Ok((coords, values))
+}
+
+/// Four little-endian bytes of `rec` at `at`, as a typed error instead of a
+/// panic when the record is too short (unreachable for slabs cut by
+/// `chunks_exact`, but the decoder stays total either way).
+#[inline]
+fn le4(path: &Path, rec: &[u8], at: usize) -> Result<[u8; 4], StreamError> {
+    rec.get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StreamError::truncated(path, at, 4))
 }
 
 /// Reads `.tnsb` chunks from disk through a bounded host-memory budget.

@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "check")]
+pub use interleave as check;
+
 /// Scoped threads (stand-in for `crossbeam::thread`).
 pub mod thread {
     use std::any::Any;
